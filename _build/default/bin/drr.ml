@@ -1,0 +1,166 @@
+(* drr -- distributed routing reproduction CLI.
+
+   Subcommands:
+     drr build    build a routing scheme on a generated graph and print its
+                  measured parameters (rounds, table/label words, memory)
+     drr route    build and route queries, printing paths and stretch
+     drr tree     run the distributed tree-routing protocol on the simulator
+     drr info     print graph statistics for a generated workload *)
+
+open Cmdliner
+open Dgraph
+
+(* ---- shared options ---- *)
+
+let seed_t =
+  Arg.(value & opt int 2026 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let n_t = Arg.(value & opt int 256 & info [ "n" ] ~docv:"N" ~doc:"Number of vertices.")
+
+let k_t =
+  Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"Stretch parameter (stretch 4k-3).")
+
+let topology_t =
+  let doc = "Workload topology: er, grid, torus, tree, ba, ring, dumbbell." in
+  Arg.(value & opt string "er" & info [ "topology"; "t" ] ~docv:"TOPO" ~doc)
+
+let make_graph ~seed ~n topology =
+  let rng = Random.State.make [| seed |] in
+  let w = Gen.uniform_weights 1.0 8.0 in
+  match topology with
+  | "er" -> Gen.connected_erdos_renyi ~rng ~weights:w ~n ~avg_deg:5.0 ()
+  | "grid" ->
+    let side = int_of_float (sqrt (float_of_int n)) in
+    Gen.grid ~rng ~weights:w ~rows:side ~cols:side ()
+  | "torus" ->
+    let side = int_of_float (sqrt (float_of_int n)) in
+    Gen.torus ~rng ~weights:w ~rows:side ~cols:side ()
+  | "tree" -> Gen.random_tree ~rng ~weights:w ~n ()
+  | "ba" -> Gen.preferential_attachment ~rng ~weights:w ~n ~out_deg:3 ()
+  | "ring" -> Gen.ring ~rng ~weights:w ~n ()
+  | "dumbbell" -> Gen.dumbbell ~rng ~weights:w ~side:(n / 2) ~bridge:(n / 8) ()
+  | other -> failwith (Printf.sprintf "unknown topology %S" other)
+
+(* ---- info ---- *)
+
+let info_cmd =
+  let run seed n topology =
+    let g = make_graph ~seed ~n topology in
+    let rng = Random.State.make [| seed; 1 |] in
+    Format.printf "%a@." Graph.pp g;
+    Format.printf "hop-diameter (estimate): %d@." (Diameter.hop_diameter_estimate g);
+    Format.printf "shortest-path diameter (sampled): %d@."
+      (Diameter.shortest_path_diameter ~samples:20 ~rng g);
+    Format.printf "degeneracy: %d@." (Arboricity.degeneracy g);
+    Format.printf "aspect ratio (approx): %.1f@." (Diameter.aspect_ratio g)
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print workload statistics.")
+    Term.(const run $ seed_t $ n_t $ topology_t)
+
+(* ---- build ---- *)
+
+let build_cmd =
+  let run seed n k topology =
+    let g = make_graph ~seed ~n topology in
+    let rng = Random.State.make [| seed; 2 |] in
+    Format.printf "building Elkin-Neiman scheme on %a with k=%d...@." Graph.pp g k;
+    let scheme = Routing.Scheme.build ~rng ~k g in
+    Format.printf "@.%a@.@." Routing.Cost.pp (Routing.Scheme.cost scheme);
+    Format.printf "virtual vertices |V'| = %d, B = %d, beta = %d@."
+      (Routing.Scheme.virtual_size scheme)
+      (Routing.Scheme.b_bound scheme) (Routing.Scheme.beta scheme);
+    Format.printf "hopset: %d edges, max per-vertex store %d@."
+      (Routing.Scheme.hopset_size scheme)
+      (Routing.Scheme.hopset_max_store scheme);
+    Format.printf "max table: %d words, max label: %d words@."
+      (Routing.Scheme.max_table_words scheme)
+      (Routing.Scheme.max_label_words scheme);
+    Format.printf "peak memory: %d words, avg: %.1f words@."
+      (Routing.Scheme.peak_memory_words scheme)
+      (Routing.Scheme.avg_memory_words scheme)
+  in
+  Cmd.v (Cmd.info "build" ~doc:"Build a routing scheme and print measured parameters.")
+    Term.(const run $ seed_t $ n_t $ k_t $ topology_t)
+
+(* ---- route ---- *)
+
+let route_cmd =
+  let pairs_t =
+    Arg.(value & opt int 10 & info [ "pairs" ] ~docv:"P" ~doc:"Number of random queries.")
+  in
+  let run seed n k topology pairs =
+    let g = make_graph ~seed ~n topology in
+    let rng = Random.State.make [| seed; 3 |] in
+    let scheme = Routing.Scheme.build ~rng ~k g in
+    for _ = 1 to pairs do
+      let src = Random.State.int rng (Graph.n g)
+      and dst = Random.State.int rng (Graph.n g) in
+      if src <> dst then begin
+        let exact = (Sssp.dijkstra g ~src).Sssp.dist.(dst) in
+        match Routing.Scheme.route scheme ~src ~dst with
+        | Ok path ->
+          Format.printf "%4d -> %-4d  stretch %.3f  path %s@." src dst
+            (Sssp.path_weight g path /. exact)
+            (String.concat "-" (List.map string_of_int path))
+        | Error e -> Format.printf "%4d -> %-4d  FAILED: %s@." src dst e
+      end
+    done;
+    let stats =
+      Routing.Stretch.evaluate ~rng ~pairs:1000 g ~route:(fun ~src ~dst ->
+          Routing.Scheme.route scheme ~src ~dst)
+    in
+    Format.printf "@.aggregate over 1000 pairs: %a@." Routing.Stretch.pp stats
+  in
+  Cmd.v (Cmd.info "route" ~doc:"Route random queries and report stretch.")
+    Term.(const run $ seed_t $ n_t $ k_t $ topology_t $ pairs_t)
+
+(* ---- tree ---- *)
+
+let tree_cmd =
+  let q_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "q" ] ~docv:"Q" ~doc:"Sampling probability (default 1/sqrt n).")
+  in
+  let run seed n topology q =
+    let g = make_graph ~seed ~n topology in
+    let rng = Random.State.make [| seed; 4 |] in
+    let tree = Tree.bfs_spanning g ~root:0 in
+    Format.printf "running the distributed tree-routing protocol on %a@." Graph.pp g;
+    let out = Routing.Dist_tree_routing.run ~rng ?q g ~tree in
+    (match out.Routing.Dist_tree_routing.failures with
+    | [] -> ()
+    | fs ->
+      Format.printf "PROTOCOL FAILURES:@.";
+      List.iter (fun f -> Format.printf "  %s@." f) fs);
+    let m = out.Routing.Dist_tree_routing.report in
+    Format.printf "rounds: %d@.messages: %d (%d words)@." m.Congest.Metrics.rounds
+      m.Congest.Metrics.messages m.Congest.Metrics.message_words;
+    Format.printf "|U(T)| = %d, ecc(root) = %d@." out.Routing.Dist_tree_routing.u_count
+      out.Routing.Dist_tree_routing.d_bfs;
+    Format.printf "peak memory: %d words (avg %.1f), max edge load: %d@."
+      (Congest.Metrics.peak_memory_max m)
+      (Congest.Metrics.peak_memory_avg m)
+      m.Congest.Metrics.max_edge_load;
+    (* verify *)
+    let r = Random.State.make [| seed; 5 |] in
+    let nv = Graph.n g in
+    let ok = ref true in
+    for _ = 1 to 500 do
+      let s = Random.State.int r nv and d = Random.State.int r nv in
+      if
+        Tz.Tree_routing.route out.Routing.Dist_tree_routing.scheme ~src:s ~dst:d
+        <> Tree.path tree s d
+      then ok := false
+    done;
+    Format.printf "exact on 500 sampled pairs: %b@." !ok
+  in
+  Cmd.v
+    (Cmd.info "tree" ~doc:"Run the distributed tree-routing protocol on the simulator.")
+    Term.(const run $ seed_t $ n_t $ topology_t $ q_t)
+
+let () =
+  let doc = "Near-optimal distributed routing with low memory (PODC 2018) -- reproduction" in
+  let main = Cmd.group (Cmd.info "drr" ~doc) [ info_cmd; build_cmd; route_cmd; tree_cmd ] in
+  exit (Cmd.eval main)

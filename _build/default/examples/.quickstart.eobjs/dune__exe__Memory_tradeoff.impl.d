@@ -1,0 +1,1 @@
+examples/memory_tradeoff.ml: Congest Dgraph Format Gen List Random Routing String Tree

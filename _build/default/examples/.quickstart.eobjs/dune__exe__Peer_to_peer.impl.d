@@ -1,0 +1,1 @@
+examples/peer_to_peer.ml: Dgraph Diameter Format Gen Graph List Random Routing

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dgraph Diameter Format Gen Graph Random Routing Sssp

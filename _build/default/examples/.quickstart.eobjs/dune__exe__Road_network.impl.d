@@ -1,0 +1,1 @@
+examples/road_network.ml: Dgraph Diameter Format Fun Gen Graph List Random Routing String Tz

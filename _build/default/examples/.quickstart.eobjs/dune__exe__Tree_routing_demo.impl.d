@@ -1,0 +1,1 @@
+examples/tree_routing_demo.ml: Array Congest Dgraph Format Gen List Random Routing Tree Tz

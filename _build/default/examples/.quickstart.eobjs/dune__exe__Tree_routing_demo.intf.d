@@ -1,0 +1,1 @@
+examples/tree_routing_demo.mli:

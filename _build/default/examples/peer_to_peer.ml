@@ -1,0 +1,45 @@
+(* Peer-to-peer overlay scenario: power-law degrees and small diameter
+   (preferential attachment), the regime where hub congestion is the issue
+   and the k-tradeoff (table size vs stretch) is the interesting knob.
+
+   Sweeps k and prints the table/label/stretch tradeoff curve, plus the
+   construction-cost breakdown for one configuration.
+
+   Run with:  dune exec examples/peer_to_peer.exe *)
+
+open Dgraph
+
+let () =
+  let rng = Random.State.make [| 11; 2026 |] in
+  let g =
+    Gen.preferential_attachment ~rng ~weights:(Gen.uniform_weights 1.0 3.0) ~n:400
+      ~out_deg:3 ()
+  in
+  Format.printf "p2p overlay: %a, max degree %d, hop-diameter ~%d@." Graph.pp g
+    (Graph.max_degree g)
+    (Diameter.hop_diameter_estimate g);
+
+  Format.printf "@.the k-tradeoff on this overlay:@.";
+  Format.printf "%-4s %12s %12s %12s %12s %12s@." "k" "table(w)" "label(w)" "mem(w)"
+    "avg-stretch" "max-stretch";
+  List.iter
+    (fun k ->
+      let scheme = Routing.Scheme.build ~rng ~k g in
+      let stats =
+        Routing.Stretch.evaluate ~rng ~pairs:1000 g ~route:(fun ~src ~dst ->
+            Routing.Scheme.route scheme ~src ~dst)
+      in
+      Format.printf "%-4d %12d %12d %12d %12.3f %12.3f@." k
+        (Routing.Scheme.max_table_words scheme)
+        (Routing.Scheme.max_label_words scheme)
+        (Routing.Scheme.peak_memory_words scheme)
+        stats.Routing.Stretch.avg_stretch stats.Routing.Stretch.max_stretch)
+    [ 2; 3; 4; 5 ];
+
+  Format.printf "@.construction breakdown at k=3:@.";
+  let scheme = Routing.Scheme.build ~rng ~k:3 g in
+  Format.printf "%a@." Routing.Cost.pp (Routing.Scheme.cost scheme);
+  Format.printf
+    "@.(tables shrink as k grows - hubs hold fewer cluster memberships -@.\
+     while the worst-case stretch bound 4k-3 loosens; measured stretch@.\
+     is usually far below the bound on small-world overlays.)@."

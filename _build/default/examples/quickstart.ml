@@ -1,0 +1,53 @@
+(* Quickstart: build the paper's routing scheme on a random network, route a
+   few messages, and print what the scheme costs.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Dgraph
+
+let () =
+  let rng = Random.State.make [| 2026 |] in
+
+  (* A connected random network with weighted links. *)
+  let g =
+    Gen.connected_erdos_renyi ~rng
+      ~weights:(Gen.uniform_weights 1.0 10.0)
+      ~n:300 ~avg_deg:5.0 ()
+  in
+  Format.printf "network: %a, hop-diameter %d@."
+    Graph.pp g (Diameter.hop_diameter_estimate g);
+
+  (* Build the compact routing scheme of Elkin-Neiman (PODC'18) with k = 3:
+     stretch <= 4k-3 = 9, tables ~n^{1/3}, labels ~k log n, and low memory
+     during preprocessing. *)
+  let k = 3 in
+  let scheme = Routing.Scheme.build ~rng ~k g in
+  Format.printf "scheme: k=%d  max table %d words  max label %d words  peak memory %d words@."
+    k
+    (Routing.Scheme.max_table_words scheme)
+    (Routing.Scheme.max_label_words scheme)
+    (Routing.Scheme.peak_memory_words scheme);
+  Format.printf "construction cost:@.%a@." Routing.Cost.pp (Routing.Scheme.cost scheme);
+
+  (* Route a few messages and compare with shortest paths. *)
+  Format.printf "@.sample routes (src -> dst: routed weight vs optimal):@.";
+  for _ = 1 to 5 do
+    let src = Random.State.int rng (Graph.n g)
+    and dst = Random.State.int rng (Graph.n g) in
+    if src <> dst then begin
+      let exact = (Sssp.dijkstra g ~src).Sssp.dist.(dst) in
+      match Routing.Scheme.route_weight g scheme ~src ~dst with
+      | Ok w ->
+        Format.printf "  %3d -> %3d: %7.2f vs %7.2f  (stretch %.2f)@." src dst w exact
+          (w /. exact)
+      | Error e -> Format.printf "  %3d -> %3d: FAILED (%s)@." src dst e
+    end
+  done;
+
+  (* Aggregate stretch over many pairs. *)
+  let stats =
+    Routing.Stretch.evaluate ~rng ~pairs:1000 g ~route:(fun ~src ~dst ->
+        Routing.Scheme.route scheme ~src ~dst)
+  in
+  Format.printf "@.stretch over 1000 pairs: %a  (bound 4k-3 = %d)@."
+    Routing.Stretch.pp stats ((4 * k) - 3)

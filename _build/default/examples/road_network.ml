@@ -1,0 +1,61 @@
+(* Road-network scenario: grid-like topology (large diameter, bounded
+   degree), the regime where the D term of the construction time matters and
+   compact tables pay off on memory-starved roadside units.
+
+   Compares the paper's scheme against the centralized Thorup-Zwick
+   construction on the same network, for several k.
+
+   Run with:  dune exec examples/road_network.exe *)
+
+open Dgraph
+
+let () =
+  let rng = Random.State.make [| 7; 2026 |] in
+  (* 24x24 grid with travel-time weights; a few random shortcuts (highways) *)
+  let base = Gen.grid ~rng ~weights:(Gen.uniform_weights 1.0 5.0) ~rows:24 ~cols:24 () in
+  let n = Graph.n base in
+  let shortcuts =
+    List.init 30 (fun _ ->
+        let u = Random.State.int rng n and v = Random.State.int rng n in
+        if u = v then None
+        else Some { Graph.u; v; w = 3.0 +. Random.State.float rng 10.0 })
+    |> List.filter_map Fun.id
+  in
+  let g = Graph.union_edges base shortcuts in
+  Format.printf "road network: %a, hop-diameter ~%d@." Graph.pp g
+    (Diameter.hop_diameter_estimate g);
+
+  Format.printf "@.%-6s %-28s %10s %10s %10s %10s@." "k" "scheme" "table(w)" "label(w)"
+    "mem(w)" "max-stretch";
+  List.iter
+    (fun k ->
+      let ours = Routing.Scheme.build ~rng ~k g in
+      let stats =
+        Routing.Stretch.evaluate ~rng ~pairs:800 g ~route:(fun ~src ~dst ->
+            Routing.Scheme.route ours ~src ~dst)
+      in
+      Format.printf "%-6d %-28s %10d %10d %10d %11.2f@." k "Elkin-Neiman (this paper)"
+        (Routing.Scheme.max_table_words ours)
+        (Routing.Scheme.max_label_words ours)
+        (Routing.Scheme.peak_memory_words ours)
+        stats.Routing.Stretch.max_stretch;
+      let tz = Tz.Graph_routing.build ~rng ~k g in
+      let stats_tz =
+        Routing.Stretch.evaluate ~rng ~pairs:800 g ~route:(fun ~src ~dst ->
+            Tz.Graph_routing.route tz ~src ~dst)
+      in
+      Format.printf "%-6d %-28s %10d %10d %10s %11.2f@." k "Thorup-Zwick (centralized)"
+        (Tz.Graph_routing.max_table_words tz)
+        (Tz.Graph_routing.max_label_words tz)
+        "n/a"
+        stats_tz.Routing.Stretch.max_stretch)
+    [ 2; 3; 4 ];
+
+  (* where do the routed paths actually go? show one *)
+  let src = 0 and dst = n - 1 in
+  let scheme = Routing.Scheme.build ~rng ~k:3 g in
+  (match Routing.Scheme.route scheme ~src ~dst with
+  | Ok path ->
+    Format.printf "@.corner-to-corner route (%d hops): %s@." (List.length path - 1)
+      (String.concat " -> " (List.map string_of_int path))
+  | Error e -> Format.printf "@.corner-to-corner route failed: %s@." e)

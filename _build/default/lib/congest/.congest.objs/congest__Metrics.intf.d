@@ -1,0 +1,1 @@
+lib/congest/metrics.mli: Format

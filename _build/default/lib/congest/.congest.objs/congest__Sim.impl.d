@@ -1,0 +1,1 @@
+lib/congest/sim.ml: Array Dgraph Effect Graph Hashtbl List Metrics Printf

@@ -1,0 +1,1 @@
+lib/congest/sim.mli: Dgraph Metrics

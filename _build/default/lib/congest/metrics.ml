@@ -1,0 +1,41 @@
+type t = {
+  mutable rounds : int;
+  mutable messages : int;
+  mutable message_words : int;
+  peak_memory : int array;
+  mutable max_edge_load : int;
+}
+
+let create ~n =
+  {
+    rounds = 0;
+    messages = 0;
+    message_words = 0;
+    peak_memory = Array.make n 0;
+    max_edge_load = 0;
+  }
+
+let peak_memory_max t = Array.fold_left max 0 t.peak_memory
+
+let peak_memory_avg t =
+  let n = Array.length t.peak_memory in
+  if n = 0 then 0.0
+  else float_of_int (Array.fold_left ( + ) 0 t.peak_memory) /. float_of_int n
+
+let note_memory t v words =
+  if words > t.peak_memory.(v) then t.peak_memory.(v) <- words
+
+let merge a b =
+  let n = Array.length a.peak_memory in
+  let peak = Array.init n (fun v -> max a.peak_memory.(v) b.peak_memory.(v)) in
+  {
+    rounds = a.rounds + b.rounds;
+    messages = a.messages + b.messages;
+    message_words = a.message_words + b.message_words;
+    peak_memory = peak;
+    max_edge_load = max a.max_edge_load b.max_edge_load;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "rounds=%d msgs=%d words=%d peak_mem=%d avg_mem=%.1f"
+    t.rounds t.messages t.message_words (peak_memory_max t) (peak_memory_avg t)

@@ -1,0 +1,32 @@
+(** Execution metrics of a CONGEST run.
+
+    The quantities the paper states its results in: rounds elapsed, messages
+    sent, and the peak number of memory *words* each vertex held. Protocols
+    declare their persistent state size through {!Sim}'s [set_memory]; the
+    ledger keeps the per-vertex peak. *)
+
+type t = {
+  mutable rounds : int;
+  mutable messages : int;
+  mutable message_words : int;
+  peak_memory : int array;  (** per-vertex peak declared words *)
+  mutable max_edge_load : int;
+      (** max messages carried by one directed edge in one round *)
+}
+
+val create : n:int -> t
+
+val peak_memory_max : t -> int
+(** Largest per-vertex peak over all vertices. *)
+
+val peak_memory_avg : t -> float
+
+val note_memory : t -> int -> int -> unit
+(** [note_memory m v words]: vertex [v] currently holds [words] words. *)
+
+val merge : t -> t -> t
+(** Combine metrics of two protocol phases run one after the other on the
+    same network: rounds and messages add; per-vertex memory peaks take the
+    max (memory is reused across phases, not accumulated). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,262 @@
+module type MESSAGE = sig
+  type t
+
+  val words : t -> int
+end
+
+exception Congestion of { vertex : int; port : int; round : int }
+exception Message_too_large of { vertex : int; words : int; round : int }
+
+module Make (M : MESSAGE) = struct
+  type ctx = {
+    me : int;
+    n : int;
+    neighbors : int array;
+    weights : float array;
+  }
+
+  type inbox = (int * M.t) list
+
+  type _ Effect.t +=
+    | Send : int * M.t -> unit Effect.t
+    | Sync : inbox Effect.t
+    | Wait : inbox Effect.t
+    | Sleep_until : int -> inbox Effect.t
+    | Wait_until : int -> inbox Effect.t
+    | Round : int Effect.t
+    | Set_memory : int -> unit Effect.t
+    | Add_memory : int -> unit Effect.t
+
+  let send p m = Effect.perform (Send (p, m))
+  let sync () = Effect.perform Sync
+  let wait () = Effect.perform Wait
+  let sleep_until r = Effect.perform (Sleep_until r)
+  let wait_until r = Effect.perform (Wait_until r)
+  let round () = Effect.perform Round
+  let set_memory w = Effect.perform (Set_memory w)
+  let add_memory d = Effect.perform (Add_memory d)
+
+  type wake = Now | On_message | At of int | Msg_or_at of int
+
+  type node_state = {
+    id : int;
+    mutable cont : (inbox, unit) Effect.Deep.continuation option;
+    mutable started : bool;
+    mutable wake : wake;
+    mutable rev_buf : (int * M.t) list;
+    mutable mem_words : int;
+    sent_count : int array;
+    sent_stamp : int array;
+  }
+
+  type outcome = Completed | Deadlocked of int list | Round_limit
+  type report = { outcome : outcome; metrics : Metrics.t }
+
+  let run ?(max_rounds = 50_000_000) ?(edge_capacity = 1) ?(word_limit = 8) g
+      ~node =
+    let open Dgraph in
+    let n = Graph.n g in
+    let metrics = Metrics.create ~n in
+    let cur_round = ref 0 in
+    (* pending.(v) collects (port at v, msg) to be delivered next round *)
+    let pending = Array.make n [] in
+    let touched = ref [] in
+    (* Port translation: edge (v via port p) arrives at u on port rev.(v).(p) *)
+    let port_of = Hashtbl.create (4 * Graph.m g) in
+    for u = 0 to n - 1 do
+      Array.iteri (fun q (x, _) -> Hashtbl.replace port_of (u, x) q) (Graph.neighbors g u)
+    done;
+    let states =
+      Array.init n (fun v ->
+          {
+            id = v;
+            cont = None;
+            started = false;
+            wake = Now;
+            rev_buf = [];
+            mem_words = 0;
+            sent_count = Array.make (Graph.degree g v) 0;
+            sent_stamp = Array.make (Graph.degree g v) (-1);
+          })
+    in
+    let current = ref states.(0) in
+    let do_send st p m =
+      let deg = Array.length st.sent_count in
+      if p < 0 || p >= deg then
+        invalid_arg
+          (Printf.sprintf "Sim.send: vertex %d has no port %d (degree %d)" st.id p deg);
+      let words = M.words m in
+      if words > word_limit then
+        raise (Message_too_large { vertex = st.id; words; round = !cur_round });
+      if st.sent_stamp.(p) <> !cur_round then begin
+        st.sent_stamp.(p) <- !cur_round;
+        st.sent_count.(p) <- 0
+      end;
+      if st.sent_count.(p) >= edge_capacity then
+        raise (Congestion { vertex = st.id; port = p; round = !cur_round });
+      st.sent_count.(p) <- st.sent_count.(p) + 1;
+      if st.sent_count.(p) > metrics.Metrics.max_edge_load then
+        metrics.Metrics.max_edge_load <- st.sent_count.(p);
+      metrics.Metrics.messages <- metrics.Metrics.messages + 1;
+      metrics.Metrics.message_words <- metrics.Metrics.message_words + words;
+      let u = (Graph.neighbors g st.id).(p) |> fst in
+      let q =
+        match Hashtbl.find_opt port_of (u, st.id) with
+        | Some q -> q
+        | None -> assert false
+      in
+      if pending.(u) = [] then touched := u :: !touched;
+      pending.(u) <- (q, m) :: pending.(u)
+    in
+    let handler (st : node_state) :
+        (unit, unit) Effect.Deep.handler =
+      {
+        retc = (fun () -> st.cont <- None);
+        exnc = (fun e -> raise e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Send (p, m) ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  do_send st p m;
+                  Effect.Deep.continue k ())
+            | Sync ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  st.cont <- Some k;
+                  st.wake <- Now)
+            | Wait ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  st.cont <- Some k;
+                  st.wake <- On_message)
+            | Sleep_until r ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  st.cont <- Some k;
+                  st.wake <- At r)
+            | Wait_until r ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  st.cont <- Some k;
+                  st.wake <- Msg_or_at r)
+            | Round ->
+              Some (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  Effect.Deep.continue k !cur_round)
+            | Set_memory w ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  st.mem_words <- w;
+                  Metrics.note_memory metrics st.id w;
+                  Effect.Deep.continue k ())
+            | Add_memory d ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  st.mem_words <- max 0 (st.mem_words + d);
+                  Metrics.note_memory metrics st.id st.mem_words;
+                  Effect.Deep.continue k ())
+            | _ -> None);
+      }
+    in
+    let take_inbox st =
+      let ib = List.rev st.rev_buf in
+      st.rev_buf <- [];
+      ib
+    in
+    let start st =
+      st.started <- true;
+      current := st;
+      let ctx =
+        {
+          me = st.id;
+          n;
+          neighbors = Array.map fst (Graph.neighbors g st.id);
+          weights = Array.map snd (Graph.neighbors g st.id);
+        }
+      in
+      Effect.Deep.match_with node ctx (handler st)
+    in
+    let resume st =
+      match st.cont with
+      | None -> ()
+      | Some k ->
+        st.cont <- None;
+        current := st;
+        Effect.Deep.continue k (take_inbox st)
+    in
+    let st_append st batch =
+      List.iter (fun pm -> st.rev_buf <- pm :: st.rev_buf) batch
+    in
+    let deliver () =
+      List.iter
+        (fun u ->
+          let batch = List.sort (fun (p, _) (q, _) -> compare p q) pending.(u) in
+          pending.(u) <- [];
+          st_append states.(u) batch)
+        !touched;
+      touched := []
+    in
+    (* Round 0: start every program. *)
+    Array.iter start states;
+    deliver ();
+    let finished st = st.cont = None && st.started in
+    let runnable st r =
+      st.cont <> None
+      &&
+      match st.wake with
+      | Now -> true
+      | On_message -> st.rev_buf <> []
+      | At r' -> r' <= r
+      | Msg_or_at r' -> st.rev_buf <> [] || r' <= r
+    in
+    let rec loop () =
+      let r = !cur_round + 1 in
+      if r > max_rounds then { outcome = Round_limit; metrics }
+      else begin
+        (* Find runnable nodes, possibly fast-forwarding over silent rounds. *)
+        let any_runnable = ref false and all_done = ref true in
+        let min_at = ref max_int in
+        Array.iter
+          (fun st ->
+            if not (finished st) then begin
+              all_done := false;
+              if runnable st r then any_runnable := true
+              else
+                match st.wake with
+                | (At r' | Msg_or_at r') when st.cont <> None ->
+                  min_at := min !min_at r'
+                | _ -> ()
+            end)
+          states;
+        if !all_done then begin
+          metrics.Metrics.rounds <- !cur_round;
+          { outcome = Completed; metrics }
+        end
+        else if not !any_runnable then begin
+          if !min_at < max_int then begin
+            cur_round := !min_at - 1;
+            loop ()
+          end
+          else begin
+            let stuck =
+              Array.to_list states
+              |> List.filter (fun st -> not (finished st))
+              |> List.map (fun st -> st.id)
+            in
+            metrics.Metrics.rounds <- !cur_round;
+            let sample = List.filteri (fun i _ -> i < 10) stuck in
+            { outcome = Deadlocked sample; metrics }
+          end
+        end
+        else begin
+          cur_round := r;
+          metrics.Metrics.rounds <- r;
+          Array.iter (fun st -> if runnable st r then resume st) states;
+          deliver ();
+          loop ()
+        end
+      end
+    in
+    loop ()
+end

@@ -1,0 +1,93 @@
+(** Synchronous CONGEST-model simulator.
+
+    Every vertex of a graph runs the same program (closed over per-vertex
+    data). Programs are written in direct style; communication points are
+    effects handled by a round-based scheduler:
+
+    - messages sent in round [r] are delivered at the beginning of round
+      [r+1];
+    - at most [edge_capacity] messages (default 1) may cross each *directed*
+      edge per round, and each message may carry at most [word_limit] words
+      (the CONGEST RAM model of the paper: a message holds O(1) ids, weights
+      or distances) — violations raise, so protocol bugs surface as failures
+      rather than as silently optimistic round counts;
+    - vertices declare their persistent state size in words via
+      [set_memory]; the scheduler ledger keeps per-vertex peaks.
+
+    The scheduler only wakes vertices that can make progress ([wait]ing
+    vertices sleep until a message arrives), so protocols with long quiet
+    phases simulate in time proportional to events, not rounds × n. *)
+
+module type MESSAGE = sig
+  type t
+
+  val words : t -> int
+  (** Size of the message in words; must be ≤ the run's [word_limit]. *)
+end
+
+exception Congestion of { vertex : int; port : int; round : int }
+(** Raised when a vertex attempts to push more than [edge_capacity] messages
+    through one port in one round. *)
+
+exception Message_too_large of { vertex : int; words : int; round : int }
+
+module Make (M : MESSAGE) : sig
+  type ctx = {
+    me : int;  (** this vertex's id *)
+    n : int;  (** number of vertices in the network *)
+    neighbors : int array;  (** port -> neighbour id *)
+    weights : float array;  (** port -> edge weight *)
+  }
+
+  type inbox = (int * M.t) list
+  (** Messages as [(port, payload)], sorted by port. *)
+
+  (** {1 Operations available inside a vertex program} *)
+
+  val send : int -> M.t -> unit
+  (** [send port msg] — buffered; delivered to the neighbour next round. *)
+
+  val sync : unit -> inbox
+  (** End the current round; receive the messages delivered next round. *)
+
+  val wait : unit -> inbox
+  (** Sleep until at least one message arrives (≥ 1 round later); returns all
+      messages that arrived while asleep, oldest first. *)
+
+  val sleep_until : int -> inbox
+  (** Sleep until the given round number; returns messages accumulated while
+      asleep. Returns immediately (next round) if the round has passed. *)
+
+  val wait_until : int -> inbox
+  (** Sleep until a message arrives or the given round is reached, whichever
+      comes first — the event-loop primitive for protocols that must both
+      relay messages promptly and act on a schedule. *)
+
+  val round : unit -> int
+  (** Current round number (starts at 0). *)
+
+  val set_memory : int -> unit
+  (** Declare this vertex's current persistent state size in words. *)
+
+  val add_memory : int -> unit
+  (** Adjust the declared size by a (possibly negative) delta. *)
+
+  (** {1 Running} *)
+
+  type outcome =
+    | Completed  (** every vertex program returned *)
+    | Deadlocked of int list  (** some vertices wait forever (sample of ids) *)
+    | Round_limit
+
+  type report = { outcome : outcome; metrics : Metrics.t }
+
+  val run :
+    ?max_rounds:int ->
+    ?edge_capacity:int ->
+    ?word_limit:int ->
+    Dgraph.Graph.t ->
+    node:(ctx -> unit) ->
+    report
+  (** Execute the protocol on every vertex of the graph. Deterministic:
+      vertices are scheduled in id order and inboxes are sorted. *)
+end

@@ -1,0 +1,1 @@
+lib/core/dist_tree_routing.ml: Array Congest Dgraph Graph List Printf Queue Random String Sys Tree Tz

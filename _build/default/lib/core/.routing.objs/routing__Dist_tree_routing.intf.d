@@ -1,0 +1,1 @@
+lib/core/dist_tree_routing.mli: Congest Dgraph Random Tz

@@ -1,0 +1,1 @@
+lib/core/scheme.ml: Array Construct Cost Dgraph Diameter Float Graph Hashtbl Hopset Hopsets Lazy List Printf Sys Tree Tz Virtual_graph

@@ -1,0 +1,1 @@
+lib/core/stretch.ml: Array Dgraph Format Graph Hashtbl List Option Printf Random Sssp

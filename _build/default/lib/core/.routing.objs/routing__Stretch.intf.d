@@ -1,0 +1,1 @@
+lib/core/stretch.mli: Dgraph Format Random

@@ -1,0 +1,1 @@
+lib/core/tree_routing_en16.ml: Array Bfs Dgraph Graph Hashtbl List Random Tree Tz

@@ -1,0 +1,1 @@
+lib/core/tree_routing_en16.mli: Dgraph Random

@@ -1,0 +1,19 @@
+type phase = { name : string; rounds : int; peak_memory : int }
+type t = { phases : phase list }
+
+let empty = { phases = [] }
+
+let add t ~name ~rounds ~peak_memory =
+  { phases = { name; rounds; peak_memory } :: t.phases }
+
+let total_rounds t = List.fold_left (fun acc p -> acc + p.rounds) 0 t.phases
+let peak_memory t = List.fold_left (fun acc p -> max acc p.peak_memory) 0 t.phases
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%-32s %10d rounds  %8d words@," p.name p.rounds p.peak_memory)
+    (List.rev t.phases);
+  Format.fprintf ppf "%-32s %10d rounds  %8d words@]" "TOTAL" (total_rounds t)
+    (peak_memory t)

@@ -1,0 +1,35 @@
+(** Round and memory accounting for block-simulated protocol phases.
+
+    The tree-routing protocol runs message-by-message on the simulator and
+    is measured directly. The general-graph preprocessing (Appendix B) would
+    need ~[n^{1/2+1/k}·polylog] simulated rounds, so its phases execute at
+    the data level and are *charged* here using the same cost lemmas the
+    paper uses to state its bounds — with the congestion factors measured
+    from the actual run rather than assumed:
+
+    - Lemma 1 (broadcast of [M] words over the BFS tree): [M + D] rounds;
+    - a [B]-bounded limited Bellman–Ford wave: [B] rounds × the measured
+      maximum per-vertex multiplicity (how many concurrent explorations
+      cross one vertex — Claim 6 bounds this by [Õ(n^{1/k})]);
+    - Lemma 2 (one BF iteration on [G' ∪ H]): [m·α + B + D] rounds, [α] and
+      [m] measured.
+
+    Every phase records both its round charge and the peak per-vertex words
+    it forces, so benches can print per-phase breakdowns. *)
+
+type phase = {
+  name : string;
+  rounds : int;
+  peak_memory : int;  (** words at the most loaded vertex during the phase *)
+}
+
+type t = { phases : phase list }
+
+val empty : t
+val add : t -> name:string -> rounds:int -> peak_memory:int -> t
+val total_rounds : t -> int
+val peak_memory : t -> int
+(** Max over phases (state is reused, not accumulated across phases). *)
+
+val pp : Format.formatter -> t -> unit
+(** Per-phase table. *)

@@ -1,0 +1,339 @@
+open Dgraph
+open Hopsets
+
+type t = {
+  k : int;
+  epsilon : float;
+  beta : int;
+  b : int;
+  router : Tz.Graph_routing.t;
+  cost : Cost.t;
+  hierarchy : Tz.Hierarchy.t;
+  virtual_size : int;
+  hopset_size : int;
+  hopset_max_store : int;
+  cluster_trees_high : (int * Tree.t) list;
+  pivot_estimates : (int * (float array * int array)) list;
+  peak_memory : int;
+  avg_memory : float;
+}
+
+let k t = t.k
+let router t = t.router
+let cost t = t.cost
+let hierarchy t = t.hierarchy
+let virtual_size t = t.virtual_size
+let b_bound t = t.b
+let beta t = t.beta
+let epsilon t = t.epsilon
+let hopset_size t = t.hopset_size
+let hopset_max_store t = t.hopset_max_store
+let approx_cluster_trees t = t.cluster_trees_high
+let pivot_estimate t ~level = List.assoc_opt level t.pivot_estimates
+let route t ~src ~dst = Tz.Graph_routing.route t.router ~src ~dst
+let route_weight g t ~src ~dst = Tz.Graph_routing.route_weight g t.router ~src ~dst
+let max_table_words t = Tz.Graph_routing.max_table_words t.router
+let max_label_words t = Tz.Graph_routing.max_label_words t.router
+let peak_memory_words t = t.peak_memory
+let avg_memory_words t = t.avg_memory
+
+(* Extract the approximate-cluster tree rooted at [w] from per-vertex
+   candidate assignments (dist, parent). Candidates follow strictly
+   decreasing distances toward the root, so the parent map is acyclic. *)
+let tree_of_candidates n w ~member ~dist ~parent g =
+  let par = Array.make n (-2) and wpar = Array.make n 0.0 in
+  par.(w) <- -1;
+  for v = 0 to n - 1 do
+    if v <> w && member.(v) then begin
+      let p = parent.(v) in
+      if p >= 0 && member.(p) then begin
+        match Graph.weight g v p with
+        | Some wt ->
+          par.(v) <- p;
+          wpar.(v) <- wt
+        | None -> () (* should not happen: parents are graph neighbours *)
+      end
+    end
+  done;
+  (* drop members whose parent chain broke (numeric corner cases): walk up *)
+  let ok = Array.make n false in
+  ok.(w) <- true;
+  let rec check v =
+    if ok.(v) then true
+    else if par.(v) < 0 then v = w
+    else if check par.(v) then begin
+      ok.(v) <- true;
+      true
+    end
+    else false
+  in
+  for v = 0 to n - 1 do
+    if par.(v) <> -2 && not (check v) then par.(v) <- -2
+  done;
+  ignore dist;
+  Tree.of_parents ~root:w ~parent:par ~wparent:wpar
+
+let build ~rng ~k ?(epsilon = 0.05) ?(lambda = 3) ?beta ?b g =
+  if k < 2 then invalid_arg "Scheme.build: k >= 2 required";
+  let n = Graph.n g in
+  let nf = float_of_int n in
+  let beta = match beta with Some b -> b | None -> max 8 (2 * lambda) in
+  let d_est = Diameter.hop_diameter_estimate g in
+  let hierarchy = Tz.Hierarchy.build ~rng ~k g in
+  let ih = max 1 (k / 2) in
+  let cost = ref Cost.empty in
+  let charge name rounds mem = cost := Cost.add !cost ~name ~rounds ~peak_memory:mem in
+  let tables : (int, Tz.Tree_routing.table) Hashtbl.t array =
+    Array.init n (fun _ -> Hashtbl.create 8)
+  in
+  let membership = Array.make n 0 in
+  let tree_store : (int, Tz.Tree_routing.scheme) Hashtbl.t = Hashtbl.create 64 in
+  let register_tree w (tree : Tree.t) =
+    let scheme = Tz.Tree_routing.build tree in
+    Hashtbl.replace tree_store w scheme;
+    List.iter
+      (fun v ->
+        membership.(v) <- membership.(v) + 1;
+        match scheme.Tz.Tree_routing.tables.(v) with
+        | Some tab -> Hashtbl.replace tables.(v) w tab
+        | None -> assert false)
+      (Tree.vertices tree)
+  in
+  (* ---- low levels: exact clusters ---- *)
+  for i = 0 to ih - 1 do
+    let owners =
+      List.filter (fun w -> Tz.Hierarchy.level hierarchy w = i) (Tz.Hierarchy.members hierarchy i)
+    in
+    let level_membership = Array.make n 0 in
+    List.iter
+      (fun w ->
+        let c = Tz.Cluster.of_owner g hierarchy w in
+        List.iter (fun (v, _) -> level_membership.(v) <- level_membership.(v) + 1) c.Tz.Cluster.dist;
+        register_tree w c.Tz.Cluster.tree)
+      owners;
+    let congestion = Array.fold_left max 0 level_membership in
+    let depth =
+      min n
+        (int_of_float
+           (ceil (4.0 *. (nf ** (float_of_int (i + 1) /. float_of_int k)) *. log nf)))
+    in
+    charge
+      (Printf.sprintf "exact clusters level %d (|owners|=%d)" i (List.length owners))
+      (depth + congestion)
+      (2 * congestion)
+  done;
+  (* ---- virtual graph and hopset ---- *)
+  let members = Tz.Hierarchy.members hierarchy ih in
+  let b =
+    match b with
+    | Some b ->
+      if b < 1 then invalid_arg "Scheme.build: b >= 1 required";
+      b
+    | None ->
+      min (max 1 (n - 1))
+        (int_of_float
+           (ceil (4.0 *. (nf ** (float_of_int ih /. float_of_int k)) *. log nf)))
+  in
+  let vg = Virtual_graph.make g ~members ~b in
+  let m = Virtual_graph.size vg in
+  let hopset = Construct.tz_hopset ~rng ~lambda vg in
+  let alpha = Hopset.max_out_degree hopset in
+  charge
+    (Printf.sprintf "hopset (m=%d, |H|=%d, alpha=%d)" m (Hopset.size hopset) alpha)
+    (lambda * ((m * alpha) + b + d_est))
+    (3 * alpha);
+  (* ---- approximate pivot distances for high levels ---- *)
+  let pivot_estimates = ref [] in
+  let infinity_arr = lazy (Array.make n infinity, Array.make n (-1)) in
+  for j = ih + 1 to k - 1 do
+    let sources = Tz.Hierarchy.members hierarchy j in
+    if sources = [] then pivot_estimates := (j, Lazy.force infinity_arr) :: !pivot_estimates
+    else begin
+      let srcs = List.map (fun s -> (s, 0.0)) sources in
+      let dist, _, origin = Hopset.run_attributed hopset ~sources:srcs ~beta in
+      pivot_estimates := (j, (dist, origin)) :: !pivot_estimates;
+      charge
+        (Printf.sprintf "approx pivots level %d" j)
+        (beta * ((m * alpha) + b + d_est))
+        (3 + alpha)
+    end
+  done;
+  let dhat j =
+    if j >= k then fst (Lazy.force infinity_arr)
+    else if j <= ih then Array.init n (fun v -> Tz.Hierarchy.dist_to_level hierarchy j v)
+    else fst (List.assoc j !pivot_estimates)
+  in
+  (* ---- approximate clusters for high levels ---- *)
+  let cluster_trees_high = ref [] in
+  let one_eps = 1.0 +. epsilon in
+  for i = ih to k - 1 do
+    let limits = dhat (i + 1) in
+    let owners =
+      List.filter (fun w -> Tz.Hierarchy.level hierarchy w = i) (Tz.Hierarchy.members hierarchy i)
+    in
+    let level_membership = Array.make n 0 in
+    List.iter
+      (fun w ->
+        let keep_host u d = d *. one_eps < limits.(u) in
+        let keep_virtual u d = d *. one_eps *. one_eps < limits.(u) in
+        let dist, prov =
+          Hopset.run_limited hopset ~sources:[ (w, 0.0) ] ~beta ~keep_host ~keep_virtual
+        in
+        (* candidate (dist, parent) per vertex *)
+        let cdist = Array.copy dist in
+        let cparent = Array.make n (-1) in
+        let joined_by_path = Array.make n false in
+        Array.iteri
+          (fun v p ->
+            match p with
+            | Hopset.Via_host parent -> cparent.(v) <- parent
+            | Hopset.Via_hopset _ | Hopset.Source | Hopset.Unreached -> ())
+          prov;
+        (* path recovery on used hopset edges *)
+        let edges = Hopset.edges hopset in
+        Array.iteri
+          (fun v p ->
+            match p with
+            (* Path recovery applies only to hopset edges of the *tree*: the
+               fed endpoint must itself satisfy the virtual limit (the
+               premise of Claim 9's second case). *)
+            | Hopset.Via_hopset ei
+              when dist.(v) < infinity && dist.(v) *. one_eps *. one_eps < limits.(v) ->
+              let e = edges.(ei) in
+              let path = e.Hopset.path in
+              let len = Array.length path in
+              (* direction: which endpoint fed v *)
+              (* the feeder is the other endpoint; orient the path feeder->v *)
+              let ordered =
+                if v = e.Hopset.y then path
+                else Array.init len (fun idx -> path.(len - 1 - idx))
+              in
+              let acc = ref dist.(ordered.(0)) in
+              for idx = 1 to len - 1 do
+                let u = ordered.(idx) and prev = ordered.(idx - 1) in
+                (match Graph.weight g prev u with
+                | Some wt -> acc := !acc +. wt
+                | None -> ());
+                (* <=: the endpoint's candidate ties its recorded estimate
+                   and must still acquire a parent on the path *)
+                (* tolerance: the per-edge sum can differ from the stored
+                   edge weight in the last floating-point bits *)
+                if !acc <= cdist.(u) +. (1e-9 *. (1.0 +. abs_float cdist.(u))) then begin
+                  cdist.(u) <- Float.min !acc cdist.(u);
+                  cparent.(u) <- prev;
+                  joined_by_path.(u) <- true
+                end
+              done
+            | _ -> ())
+          prov;
+        (* final B-bounded limited wave from all current candidates *)
+        let wave, wparent = Virtual_graph.bf_iteration_limited vg cdist ~keep_going:(fun u d -> u = w || keep_host u d) in
+        Array.iteri
+          (fun v d ->
+            if d < cdist.(v) then begin
+              cdist.(v) <- d;
+              cparent.(v) <- wparent.(v);
+              joined_by_path.(v) <- false
+            end)
+          wave;
+        (* membership *)
+        let member = Array.make n false in
+        member.(w) <- true;
+        for v = 0 to n - 1 do
+          if v <> w && cdist.(v) < infinity then
+            if joined_by_path.(v) || cdist.(v) *. one_eps < limits.(v) then member.(v) <- true
+        done;
+        (* parents must be members; prune leaves-first via the tree builder *)
+        let tree = tree_of_candidates n w ~member ~dist:cdist ~parent:cparent g in
+        if Sys.getenv_opt "SCHEME_DEBUG" <> None then begin
+          let nm = Array.fold_left (fun a b -> if b then a + 1 else a) 0 member in
+          if Tree.size tree <> nm then
+            for v = 0 to n - 1 do
+              if member.(v) && not (Tree.mem tree v) then
+                Printf.eprintf
+                  "[scheme] owner=%d pruned v=%d cdist=%f cparent=%d prov=%s path=%b\n%!"
+                  w v cdist.(v) cparent.(v)
+                  (match prov.(v) with
+                  | Hopset.Unreached -> "unreached"
+                  | Hopset.Source -> "source"
+                  | Hopset.Via_host p -> Printf.sprintf "host(%d)" p
+                  | Hopset.Via_hopset e -> Printf.sprintf "hop(%d)" e)
+                  joined_by_path.(v)
+            done
+        end;
+        cluster_trees_high := (w, tree) :: !cluster_trees_high;
+        List.iter
+          (fun v -> level_membership.(v) <- level_membership.(v) + 1)
+          (Tree.vertices tree);
+        register_tree w tree)
+      owners;
+    let congestion = max 1 (Array.fold_left max 0 level_membership) in
+    charge
+      (Printf.sprintf "approx clusters level %d (|owners|=%d)" i (List.length owners))
+      (beta * ((((m * alpha) + b) * congestion / max 1 m) + b + d_est))
+      (2 * congestion)
+  done;
+  (* ---- labels ---- *)
+  let labels = Array.make n [] in
+  for y = 0 to n - 1 do
+    let entries = ref [] in
+    let last = ref (-1) in
+    for j = 0 to k - 1 do
+      let owner =
+        if j <= ih then
+          match Tz.Hierarchy.pivot hierarchy j y with Some w -> w | None -> -1
+        else
+          match List.assoc_opt j !pivot_estimates with
+          | Some (_, origin) -> origin.(y)
+          | None -> -1
+      in
+      if owner >= 0 && owner <> !last then begin
+        last := owner;
+        match Hashtbl.find_opt tree_store owner with
+        | Some scheme -> (
+          match scheme.Tz.Tree_routing.labels.(y) with
+          | Some tree_label ->
+            entries := { Tz.Graph_routing.owner; tree_label } :: !entries
+          | None -> ())
+        | None -> ()
+      end
+    done;
+    labels.(y) <- List.rev !entries
+  done;
+  let router = Tz.Graph_routing.assemble ~k ~tables ~labels in
+  (* tree-routing construction charge: Theorem 2 multi-tree form *)
+  let s_max = max 1 (Array.fold_left max 0 membership) in
+  charge
+    (Printf.sprintf "tree routing schemes (s=%d)" s_max)
+    (int_of_float (ceil (sqrt (float_of_int (s_max * n)) *. log nf)) + d_est)
+    (s_max * 2);
+  (* ---- final memory audit ---- *)
+  let words = Array.make n 0 in
+  for v = 0 to n - 1 do
+    words.(v) <-
+      (5 * Hashtbl.length tables.(v))
+      + Tz.Graph_routing.label_words router v
+      + (3 * List.length (Hopset.out_edges hopset v))
+      + k
+      + (2 * membership.(v))
+  done;
+  let peak_final = Array.fold_left max 0 words in
+  let avg = float_of_int (Array.fold_left ( + ) 0 words) /. nf in
+  let peak = max peak_final (Cost.peak_memory !cost) in
+  charge "final state (tables+labels+hopset)" 0 peak_final;
+  {
+    k;
+    epsilon;
+    beta;
+    b;
+    router;
+    cost = !cost;
+    hierarchy;
+    virtual_size = m;
+    hopset_size = Hopset.size hopset;
+    hopset_max_store = alpha;
+    cluster_trees_high = !cluster_trees_high;
+    pivot_estimates = !pivot_estimates;
+    peak_memory = peak;
+    avg_memory = avg;
+  }

@@ -1,0 +1,86 @@
+(** The paper's contribution, part 2: the low-memory compact routing scheme
+    for general graphs (Appendix B).
+
+    Construction, following the paper:
+
+    + sample the TZ hierarchy [A_0 ⊇ … ⊇ A_k = ∅];
+    + levels [i < ⌈k/2⌉]: grow *exact* clusters by limited explorations of
+      hop-depth [4·n^{(i+1)/k}·ln n] (Claim 8) — whp these see true
+      distances, so we reuse the exact truncated Dijkstra;
+    + the virtual vertex set is [V' = A_{k/2}] with
+      [B = Θ(n^{(k/2)/k} log n)]-bounded virtual edges, never materialized;
+    + a low-arboricity [(β,ε)]-hopset [H] with path recovery is built for
+      the implicit [G'] ({!Hopsets.Construct});
+    + approximate pivots: [β] Bellman–Ford iterations on [G' ∪ H] rooted at
+      each high level [A_j], giving every host vertex
+      [d̂(u, A_j) ≤ (1+ε)·d(u, A_j)] and an approximate-pivot identity;
+    + approximate clusters for [i ≥ k/2]: limited explorations in [G' ∪ H]
+      (virtual limit [d̂/(1+ε)²], host limit [d̂/(1+ε)]), path-recovery
+      joins along used hopset edges, a final [B]-bounded limited wave, and a
+      parent-pointer tree extraction — Claims 9/10 (the sandwich
+      [C_{6ε}(v) ⊆ C̃(v) ⊆ C(v)]) are tested against this code;
+    + the tree-routing scheme is built per cluster tree; tables and labels
+      are assembled exactly as in {!Tz.Graph_routing} and routed with the
+      same forwarding machine. Stretch: [4k−3+o(1)] as built here (the
+      paper's [4k−5+o(1)] refinement costs a polylog-larger table).
+
+    Rounds are charged per phase with the paper's own cost lemmas and the
+    *measured* congestion factors (see {!module:Cost}); memory words per
+    vertex are counted from what each vertex actually stores. *)
+
+type t
+
+val build :
+  rng:Random.State.t ->
+  k:int ->
+  ?epsilon:float ->
+  ?lambda:int ->
+  ?beta:int ->
+  ?b:int ->
+  Dgraph.Graph.t ->
+  t
+(** [epsilon] defaults to 0.05, [lambda] (hopset hierarchy depth) to 3,
+    [beta] (hop bound used in explorations) to [max 8 (2·lambda)]. [b]
+    overrides the virtual-edge hop bound [B] (default
+    [4·n^{⌈k/2⌉/k}·ln n], capped at [n−1]); forcing it below the hop
+    diameter exercises the hop-bounded machinery (hopset jumps and path
+    recovery) that the default hides on small inputs. Explorations then
+    reach only within [≈ β·B] hops, so [β·b] must cover the hop diameter
+    for full delivery. *)
+
+(** {1 Routing} *)
+
+val k : t -> int
+val router : t -> Tz.Graph_routing.t
+val route : t -> src:int -> dst:int -> (int list, string) result
+val route_weight : Dgraph.Graph.t -> t -> src:int -> dst:int -> (float, string) result
+
+(** {1 Measured quantities (Table 1 columns)} *)
+
+val cost : t -> Cost.t
+(** Per-phase round/memory charges; [Cost.total_rounds] is the "Number of
+    Rounds" column. *)
+
+val max_table_words : t -> int
+val max_label_words : t -> int
+val peak_memory_words : t -> int
+(** Per-vertex peak across construction and the final state — the "Memory
+    per vertex" column. *)
+
+val avg_memory_words : t -> float
+
+(** {1 Introspection for tests and experiments} *)
+
+val hierarchy : t -> Tz.Hierarchy.t
+val virtual_size : t -> int
+val b_bound : t -> int
+val beta : t -> int
+val epsilon : t -> float
+val hopset_size : t -> int
+val hopset_max_store : t -> int
+
+val approx_cluster_trees : t -> (int * Dgraph.Tree.t) list
+(** High-level [(owner, C̃(owner) tree)] pairs. *)
+
+val pivot_estimate : t -> level:int -> (float array * int array) option
+(** [(d̂(·, A_level), approximate pivot ids)] for high levels. *)

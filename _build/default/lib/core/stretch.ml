@@ -1,0 +1,71 @@
+open Dgraph
+
+type stats = {
+  pairs : int;
+  delivered : int;
+  max_stretch : float;
+  avg_stretch : float;
+  p95_stretch : float;
+}
+
+let evaluate ~rng ?(pairs = 500) g ~route =
+  let n = Graph.n g in
+  (* group pairs by source to share Dijkstra runs *)
+  let by_src = Hashtbl.create 16 in
+  let total = ref 0 in
+  for _ = 1 to pairs do
+    let s = Random.State.int rng n and d = Random.State.int rng n in
+    if s <> d then begin
+      incr total;
+      Hashtbl.replace by_src s
+        (d :: Option.value ~default:[] (Hashtbl.find_opt by_src s))
+    end
+  done;
+  let stretches = ref [] and delivered = ref 0 in
+  Hashtbl.iter
+    (fun s dsts ->
+      let exact = (Sssp.dijkstra g ~src:s).Sssp.dist in
+      List.iter
+        (fun d ->
+          match route ~src:s ~dst:d with
+          | Error _ -> ()
+          | Ok path ->
+            if exact.(d) > 0.0 && exact.(d) < infinity then begin
+              incr delivered;
+              stretches := Sssp.path_weight g path /. exact.(d) :: !stretches
+            end)
+        dsts)
+    by_src;
+  let arr = Array.of_list !stretches in
+  Array.sort compare arr;
+  let len = Array.length arr in
+  let max_stretch = if len = 0 then nan else arr.(len - 1) in
+  let avg_stretch =
+    if len = 0 then nan else Array.fold_left ( +. ) 0.0 arr /. float_of_int len
+  in
+  let p95_stretch = if len = 0 then nan else arr.(min (len - 1) (len * 95 / 100)) in
+  { pairs = !total; delivered = !delivered; max_stretch; avg_stretch; p95_stretch }
+
+let all_pairs_max g ~route =
+  let n = Graph.n g in
+  let worst = ref 1.0 in
+  let result = ref (Ok ()) in
+  (try
+     for s = 0 to n - 1 do
+       let exact = (Sssp.dijkstra g ~src:s).Sssp.dist in
+       for d = 0 to n - 1 do
+         if s <> d && exact.(d) < infinity then begin
+           match route ~src:s ~dst:d with
+           | Error e ->
+             result := Error (Printf.sprintf "%d->%d: %s" s d e);
+             raise Exit
+           | Ok path -> worst := max !worst (Sssp.path_weight g path /. exact.(d))
+         end
+       done
+     done
+   with Exit -> ());
+  match !result with Ok () -> Ok !worst | Error e -> Error e
+
+let pp ppf s =
+  Format.fprintf ppf "pairs=%d delivered=%d max=%.3f avg=%.3f p95=%.3f" s.pairs
+    s.delivered s.max_stretch s.avg_stretch s.p95_stretch

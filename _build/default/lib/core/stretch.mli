@@ -1,0 +1,29 @@
+(** Stretch evaluation of a routing function against exact distances. *)
+
+type stats = {
+  pairs : int;
+  delivered : int;
+  max_stretch : float;
+  avg_stretch : float;
+  p95_stretch : float;
+}
+
+val evaluate :
+  rng:Random.State.t ->
+  ?pairs:int ->
+  Dgraph.Graph.t ->
+  route:(src:int -> dst:int -> (int list, string) result) ->
+  stats
+(** Sample [pairs] (default 500) random ordered pairs, route each, and
+    compare the routed path weight to the Dijkstra distance. Pairs that fail
+    to deliver are excluded from the stretch statistics but reported in
+    [delivered]. *)
+
+val all_pairs_max :
+  Dgraph.Graph.t ->
+  route:(src:int -> dst:int -> (int list, string) result) ->
+  (float, string) result
+(** Exhaustive maximum stretch; [Error] on the first undelivered pair. For
+    small graphs in tests. *)
+
+val pp : Format.formatter -> stats -> unit

@@ -1,0 +1,33 @@
+(** Baseline: the [LP15]/[EN16b]-style distributed tree routing that the
+    paper improves on (first row of Table 2).
+
+    That scheme partitions [T] into the same local trees, but then builds a
+    *separate* routing scheme for the virtual tree [T'] by broadcasting all
+    of [T'] and storing it at every virtual vertex — Θ(|U|) = Θ(√n) words of
+    working memory — and composes virtual and local schemes, which inflates
+    tables to O(log n) and labels to O(log² n) words (each virtual light
+    edge drags the local label of its attachment point along).
+
+    We build the composed scheme centrally with the exact same data the
+    distributed algorithm would compute, and *account* rounds and per-vertex
+    memory with the costs of its communication pattern (local waves, the
+    Lemma 1 broadcast of [T'], and pipelined label distribution). Its routed
+    paths are exact tree paths, like the paper's scheme — the interesting
+    columns are rounds, sizes and memory. *)
+
+type outcome = {
+  rounds : int;
+  peak_memory : int;  (** Θ(√n): every virtual vertex stores T' *)
+  avg_memory : float;
+  max_table_words : int;  (** O(log n) *)
+  max_label_words : int;  (** O(log² n) *)
+  u_count : int;
+  local_height : int;
+}
+
+val run :
+  rng:Random.State.t ->
+  ?q:float ->
+  Dgraph.Graph.t ->
+  tree:Dgraph.Tree.t ->
+  outcome

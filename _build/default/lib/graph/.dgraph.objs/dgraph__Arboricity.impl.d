@@ -1,0 +1,1 @@
+lib/graph/arboricity.ml: Array Graph List Union_find

@@ -1,0 +1,1 @@
+lib/graph/sssp.ml: Array Graph List Pqueue

@@ -1,0 +1,72 @@
+let forest_decomposition g =
+  let n = Graph.n g in
+  let remaining = ref (Graph.edges g) in
+  let forests = ref [] in
+  while !remaining <> [] do
+    let uf = Union_find.create n in
+    let taken, left =
+      List.partition
+        (fun { Graph.u; v; _ } -> Union_find.union uf u v)
+        !remaining
+    in
+    forests := taken :: !forests;
+    remaining := left
+  done;
+  List.rev !forests
+
+let forest_count g = List.length (forest_decomposition g)
+
+(* Peel vertices in nondecreasing degree order using bucket queues. *)
+let degeneracy_order g =
+  let n = Graph.n g in
+  let deg = Array.init n (Graph.degree g) in
+  let maxdeg = Graph.max_degree g in
+  let buckets = Array.make (maxdeg + 1) [] in
+  Array.iteri (fun v d -> buckets.(d) <- v :: buckets.(d)) deg;
+  let removed = Array.make n false in
+  let order = Array.make n 0 in
+  let k = ref 0 in
+  let cursor = ref 0 in
+  for i = 0 to n - 1 do
+    (* find the nonempty bucket with smallest degree *)
+    if !cursor > 0 then decr cursor;
+    let rec advance () =
+      match buckets.(!cursor) with
+      | [] ->
+        incr cursor;
+        advance ()
+      | v :: rest ->
+        buckets.(!cursor) <- rest;
+        if removed.(v) || deg.(v) <> !cursor then advance () else v
+    in
+    let v = advance () in
+    removed.(v) <- true;
+    order.(i) <- v;
+    k := max !k deg.(v);
+    Graph.iter_neighbors g v (fun u _ ->
+        if not removed.(u) then begin
+          deg.(u) <- deg.(u) - 1;
+          buckets.(deg.(u)) <- u :: buckets.(deg.(u))
+        end)
+  done;
+  (order, !k)
+
+let degeneracy g = snd (degeneracy_order g)
+
+let degeneracy_orientation g =
+  let n = Graph.n g in
+  let order, _ = degeneracy_order g in
+  let rank = Array.make n 0 in
+  Array.iteri (fun i v -> rank.(v) <- i) order;
+  let out = Array.make n [] in
+  (* Orient each edge from the vertex peeled earlier to the one peeled later:
+     at peel time a vertex has degree <= degeneracy, so out-degree is bounded. *)
+  List.iter
+    (fun { Graph.u; v; w } ->
+      if rank.(u) < rank.(v) then out.(u) <- (v, w) :: out.(u)
+      else out.(v) <- (u, w) :: out.(v))
+    (Graph.edges g);
+  out
+
+let max_out_degree out =
+  Array.fold_left (fun acc l -> max acc (List.length l)) 0 out

@@ -1,0 +1,27 @@
+(** Forest decompositions and low-out-degree orientations.
+
+    The hopsets of [EN17b] have arboricity [Õ(n^{ρ/2})]; in the distributed
+    setting each vertex then stores only its parents in the forest
+    decomposition. This module provides (i) a greedy forest decomposition
+    (repeatedly peel a spanning forest), whose forest count is at most
+    [2·arboricity − 1], and (ii) a degeneracy orientation giving every vertex
+    out-degree at most the degeneracy [≤ 2·arboricity − 1]. Both are used to
+    bound and to *measure* the per-vertex storage of hopset edges. *)
+
+val forest_decomposition : Graph.t -> Graph.edge list list
+(** Partition the edge set into forests, greedily: each pass removes a
+    maximal spanning forest of the remaining edges. *)
+
+val forest_count : Graph.t -> int
+(** Number of forests produced by {!forest_decomposition} — an upper bound on
+    (and at most twice) the arboricity. *)
+
+val degeneracy : Graph.t -> int
+(** The smallest [d] such that every subgraph has a vertex of degree [≤ d]. *)
+
+val degeneracy_orientation : Graph.t -> (int * float) list array
+(** Orient every edge so that out-degree ≤ degeneracy: [result.(v)] lists
+    [(u, w)] for edges oriented [v → u]. Every undirected edge appears in
+    exactly one direction. *)
+
+val max_out_degree : (int * float) list array -> int

@@ -1,0 +1,36 @@
+let distances_and_tree g ~src =
+  let n = Graph.n g in
+  let dist = Array.make n max_int and parent = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    Graph.iter_neighbors g v (fun u _ ->
+        if dist.(u) = max_int then begin
+          dist.(u) <- dist.(v) + 1;
+          parent.(u) <- v;
+          Queue.add u queue
+        end)
+  done;
+  (dist, parent)
+
+let distances g ~src = fst (distances_and_tree g ~src)
+let tree g ~src = snd (distances_and_tree g ~src)
+
+let eccentricity g ~src =
+  Array.fold_left
+    (fun acc d -> if d <> max_int && d > acc then d else acc)
+    0 (distances g ~src)
+
+let farthest g ~src =
+  let dist = distances g ~src in
+  let best = ref src and best_d = ref (-1) in
+  Array.iteri
+    (fun v d ->
+      if d <> max_int && d > !best_d then begin
+        best := v;
+        best_d := d
+      end)
+    dist;
+  !best

@@ -1,0 +1,56 @@
+let hop_diameter g =
+  if not (Graph.is_connected g) then invalid_arg "Diameter.hop_diameter: disconnected";
+  let n = Graph.n g in
+  let d = ref 0 in
+  for v = 0 to n - 1 do
+    d := max !d (Bfs.eccentricity g ~src:v)
+  done;
+  !d
+
+let hop_diameter_estimate g =
+  let a = Bfs.farthest g ~src:0 in
+  Bfs.eccentricity g ~src:a
+
+let hop_radius_center g =
+  let n = Graph.n g in
+  let best_ecc = ref max_int and best_v = ref 0 in
+  for v = 0 to n - 1 do
+    let e = Bfs.eccentricity g ~src:v in
+    if e < !best_ecc then begin
+      best_ecc := e;
+      best_v := v
+    end
+  done;
+  (!best_ecc, !best_v)
+
+let sample_sources ?samples ~rng g =
+  let n = Graph.n g in
+  match samples with
+  | Some s when s < n ->
+    List.init s (fun _ -> Random.State.int rng n)
+  | _ -> List.init n Fun.id
+
+let shortest_path_diameter ?samples ~rng g =
+  let sources = sample_sources ?samples ~rng g in
+  List.fold_left
+    (fun acc src ->
+      let _, hops = Sssp.dijkstra_hops g ~src in
+      Array.fold_left (fun m h -> if h <> max_int then max m h else m) acc hops)
+    0 sources
+
+let weighted_diameter ?samples ~rng g =
+  let sources = sample_sources ?samples ~rng g in
+  List.fold_left
+    (fun acc src ->
+      let { Sssp.dist; _ } = Sssp.dijkstra g ~src in
+      Array.fold_left (fun m d -> if d < infinity then max m d else m) acc dist)
+    0.0 sources
+
+let aspect_ratio g =
+  let wmin =
+    List.fold_left (fun acc { Graph.w; _ } -> min acc w) infinity (Graph.edges g)
+  in
+  if wmin = infinity then 1.0
+  else
+    let rng = Random.State.make [| 0 |] in
+    weighted_diameter ~rng g /. wmin

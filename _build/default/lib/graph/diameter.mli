@@ -1,0 +1,30 @@
+(** Diameter measures of a connected graph.
+
+    The paper's round bounds are stated in terms of the hop-diameter [D]
+    (diameter of the unweighted skeleton) and contrasted with the
+    shortest-path diameter [S] (maximum hop count of a shortest weighted
+    path), with [D ≤ S ≤ n]. *)
+
+val hop_diameter : Graph.t -> int
+(** Exact hop-diameter via all-sources BFS. [O(nm)] — fine for the sizes used
+    in tests and benches. @raise Invalid_argument if disconnected *)
+
+val hop_diameter_estimate : Graph.t -> int
+(** Double-sweep lower bound (exact on trees, a 2-approximation in general),
+    in two BFS passes. *)
+
+val hop_radius_center : Graph.t -> int * int
+(** [(radius, center)] — the vertex minimising eccentricity and its
+    eccentricity, via all-sources BFS. *)
+
+val shortest_path_diameter : ?samples:int -> rng:Random.State.t -> Graph.t -> int
+(** Maximum, over sampled sources, of the maximum hop length of a shortest
+    weighted path from the source (a lower bound on [S]; exact when
+    [samples >= n]). *)
+
+val weighted_diameter : ?samples:int -> rng:Random.State.t -> Graph.t -> float
+(** Maximum over sampled sources of the weighted eccentricity. *)
+
+val aspect_ratio : Graph.t -> float
+(** Λ: ratio of maximum to minimum pairwise distance; here approximated by
+    (weighted diameter) / (minimum edge weight), the standard surrogate. *)

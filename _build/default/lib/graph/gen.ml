@@ -1,0 +1,227 @@
+type weight_spec = { wmin : float; wmax : float }
+
+let unit_weights = { wmin = 1.0; wmax = 1.0 }
+
+let uniform_weights wmin wmax =
+  if not (0.0 < wmin && wmin <= wmax) then
+    invalid_arg "Gen.uniform_weights: need 0 < wmin <= wmax";
+  { wmin; wmax }
+
+let draw_weight rng { wmin; wmax } =
+  if wmin = wmax then wmin
+  else wmin +. Random.State.float rng (wmax -. wmin)
+
+let edge rng spec u v = { Graph.u; v; w = draw_weight rng spec }
+
+let erdos_renyi ~rng ?(weights = unit_weights) ~n ~p () =
+  let es = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < p then es := edge rng weights u v :: !es
+    done
+  done;
+  Graph.of_edges ~n !es
+
+let gnm ~rng ?(weights = unit_weights) ~n ~m () =
+  let seen = Hashtbl.create (2 * m) in
+  let es = ref [] in
+  let count = ref 0 in
+  let max_edges = n * (n - 1) / 2 in
+  if m > max_edges then invalid_arg "Gen.gnm: m too large";
+  while !count < m do
+    let u = Random.State.int rng n and v = Random.State.int rng n in
+    if u <> v then begin
+      let key = if u < v then (u, v) else (v, u) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        es := edge rng weights u v :: !es;
+        incr count
+      end
+    end
+  done;
+  Graph.of_edges ~n !es
+
+let grid ~rng ?(weights = unit_weights) ~rows ~cols () =
+  let id r c = (r * cols) + c in
+  let es = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then es := edge rng weights (id r c) (id r (c + 1)) :: !es;
+      if r + 1 < rows then es := edge rng weights (id r c) (id (r + 1) c) :: !es
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) !es
+
+let torus ~rng ?(weights = unit_weights) ~rows ~cols () =
+  let id r c = (r * cols) + c in
+  let es = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      es := edge rng weights (id r c) (id r ((c + 1) mod cols)) :: !es;
+      es := edge rng weights (id r c) (id ((r + 1) mod rows) c) :: !es
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) !es
+
+let ring ~rng ?(weights = unit_weights) ~n () =
+  let es = ref [] in
+  for v = 0 to n - 1 do
+    es := edge rng weights v ((v + 1) mod n) :: !es
+  done;
+  Graph.of_edges ~n !es
+
+(* Uniform labelled tree from a random Prüfer sequence. *)
+let random_tree ~rng ?(weights = unit_weights) ~n () =
+  if n <= 0 then invalid_arg "Gen.random_tree: n must be positive";
+  if n = 1 then Graph.of_edges ~n []
+  else if n = 2 then Graph.of_edges ~n [ edge rng weights 0 1 ]
+  else begin
+    let seq = Array.init (n - 2) (fun _ -> Random.State.int rng n) in
+    let deg = Array.make n 1 in
+    Array.iter (fun v -> deg.(v) <- deg.(v) + 1) seq;
+    let leaves = Pqueue.create () in
+    for v = 0 to n - 1 do
+      if deg.(v) = 1 then Pqueue.push leaves ~key:(float_of_int v) v
+    done;
+    let es = ref [] in
+    Array.iter
+      (fun v ->
+        match Pqueue.pop leaves with
+        | None -> assert false
+        | Some (_, leaf) ->
+          es := edge rng weights leaf v :: !es;
+          deg.(v) <- deg.(v) - 1;
+          if deg.(v) = 1 then Pqueue.push leaves ~key:(float_of_int v) v)
+      seq;
+    (match (Pqueue.pop leaves, Pqueue.pop leaves) with
+    | Some (_, a), Some (_, b) -> es := edge rng weights a b :: !es
+    | _ -> assert false);
+    Graph.of_edges ~n !es
+  end
+
+let random_spider ~rng ?(weights = unit_weights) ~legs ~leg_len () =
+  let n = 1 + (legs * leg_len) in
+  let es = ref [] in
+  for leg = 0 to legs - 1 do
+    let base = 1 + (leg * leg_len) in
+    es := edge rng weights 0 base :: !es;
+    for i = 0 to leg_len - 2 do
+      es := edge rng weights (base + i) (base + i + 1) :: !es
+    done
+  done;
+  Graph.of_edges ~n !es
+
+let caterpillar ~rng ?(weights = unit_weights) ~spine ~legs_per () =
+  let n = spine * (1 + legs_per) in
+  let es = ref [] in
+  for s = 0 to spine - 1 do
+    if s + 1 < spine then es := edge rng weights s (s + 1) :: !es;
+    for l = 0 to legs_per - 1 do
+      es := edge rng weights s (spine + (s * legs_per) + l) :: !es
+    done
+  done;
+  Graph.of_edges ~n !es
+
+let balanced_tree ~rng ?(weights = unit_weights) ~arity ~depth () =
+  if arity < 1 then invalid_arg "Gen.balanced_tree: arity >= 1 required";
+  (* Vertices in BFS order; children of i are arity*i + 1 .. arity*i + arity. *)
+  let rec count level acc width =
+    if level > depth then acc else count (level + 1) (acc + width) (width * arity)
+  in
+  let n = count 0 0 1 in
+  let es = ref [] in
+  for v = 1 to n - 1 do
+    es := edge rng weights v ((v - 1) / arity) :: !es
+  done;
+  Graph.of_edges ~n !es
+
+let preferential_attachment ~rng ?(weights = unit_weights) ~n ~out_deg () =
+  if n < out_deg + 1 then invalid_arg "Gen.preferential_attachment: n too small";
+  (* endpoint pool: each edge endpoint appears once -> degree-proportional draw *)
+  let pool = ref [] and pool_size = ref 0 in
+  let es = ref [] in
+  let add_edge u v =
+    es := edge rng weights u v :: !es;
+    pool := u :: v :: !pool;
+    pool_size := !pool_size + 2
+  in
+  (* seed: clique on out_deg + 1 vertices *)
+  for u = 0 to out_deg do
+    for v = u + 1 to out_deg do
+      add_edge u v
+    done
+  done;
+  let pool_arr = ref (Array.of_list !pool) in
+  for v = out_deg + 1 to n - 1 do
+    if Array.length !pool_arr < !pool_size then pool_arr := Array.of_list !pool;
+    let chosen = Hashtbl.create out_deg in
+    let attempts = ref 0 in
+    while Hashtbl.length chosen < out_deg && !attempts < 50 * out_deg do
+      incr attempts;
+      let t = (!pool_arr).(Random.State.int rng (Array.length !pool_arr)) in
+      if t <> v then Hashtbl.replace chosen t ()
+    done;
+    Hashtbl.iter (fun t () -> add_edge v t) chosen;
+    pool_arr := Array.of_list !pool
+  done;
+  Graph.of_edges ~n !es
+
+let random_regularish ~rng ?(weights = unit_weights) ~n ~degree () =
+  if n * degree mod 2 <> 0 then
+    invalid_arg "Gen.random_regularish: n * degree must be even";
+  (* Pairing model: shuffle stubs, pair consecutive; drop loops/duplicates. *)
+  let stubs = Array.make (n * degree) 0 in
+  for v = 0 to n - 1 do
+    for i = 0 to degree - 1 do
+      stubs.((v * degree) + i) <- v
+    done
+  done;
+  let len = Array.length stubs in
+  for i = len - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = stubs.(i) in
+    stubs.(i) <- stubs.(j);
+    stubs.(j) <- t
+  done;
+  let es = ref [] in
+  let i = ref 0 in
+  while !i + 1 < len do
+    let u = stubs.(!i) and v = stubs.(!i + 1) in
+    if u <> v then es := edge rng weights u v :: !es;
+    i := !i + 2
+  done;
+  Graph.of_edges ~n !es
+
+let connected_erdos_renyi ~rng ?(weights = unit_weights) ~n ~avg_deg () =
+  let p = avg_deg /. float_of_int n in
+  let g = erdos_renyi ~rng ~weights ~n ~p () in
+  fst (Graph.largest_component g)
+
+let dumbbell ~rng ?(weights = unit_weights) ~side ~bridge () =
+  let n = (2 * side) + max 0 (bridge - 1) in
+  let es = ref [] in
+  (* blob A on [0, side), blob B on [side, 2*side) as near-cliques *)
+  for u = 0 to side - 1 do
+    for v = u + 1 to side - 1 do
+      if Random.State.float rng 1.0 < 0.5 then begin
+        es := edge rng weights u v :: !es;
+        es := edge rng weights (side + u) (side + v) :: !es
+      end
+    done
+  done;
+  (* guarantee connectivity of the blobs *)
+  for u = 1 to side - 1 do
+    es := edge rng weights 0 u :: !es;
+    es := edge rng weights side (side + u) :: !es
+  done;
+  (* path of [bridge] edges from vertex 0 to vertex side *)
+  if bridge <= 1 then es := edge rng weights 0 side :: !es
+  else begin
+    let base = 2 * side in
+    es := edge rng weights 0 base :: !es;
+    for i = 0 to bridge - 3 do
+      es := edge rng weights (base + i) (base + i + 1) :: !es
+    done;
+    es := edge rng weights (base + bridge - 2) side :: !es
+  end;
+  Graph.of_edges ~n !es

@@ -1,0 +1,28 @@
+(** Minimum priority queue over [float] keys with [int] payloads.
+
+    A standard binary heap specialised for the shortest-path computations in
+    this library: keys are path lengths, payloads are vertex identifiers.
+    Supports lazy deletion via [decrease_key]-by-reinsertion: callers keep a
+    separate [dist] array and discard stale entries on [pop]. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty queue. [capacity] is a hint only. *)
+
+val is_empty : t -> bool
+
+val length : t -> int
+(** Number of entries currently stored (including stale duplicates). *)
+
+val push : t -> key:float -> int -> unit
+(** [push q ~key v] inserts payload [v] with priority [key]. *)
+
+val pop : t -> (float * int) option
+(** Remove and return the entry with the minimum key, or [None] if empty. *)
+
+val peek : t -> (float * int) option
+(** Return the minimum entry without removing it. *)
+
+val clear : t -> unit
+(** Remove all entries, keeping the allocated storage. *)

@@ -1,0 +1,141 @@
+type result = { dist : float array; parent : int array }
+
+let dijkstra_from g sources =
+  let n = Graph.n g in
+  let dist = Array.make n infinity and parent = Array.make n (-1) in
+  let settled = Array.make n false in
+  let q = Pqueue.create ~capacity:(max 16 n) () in
+  List.iter
+    (fun (s, d0) ->
+      if d0 < dist.(s) then begin
+        dist.(s) <- d0;
+        Pqueue.push q ~key:d0 s
+      end)
+    sources;
+  let rec drain () =
+    match Pqueue.pop q with
+    | None -> ()
+    | Some (d, v) ->
+      if not settled.(v) && d <= dist.(v) then begin
+        settled.(v) <- true;
+        Graph.iter_neighbors g v (fun u w ->
+            let nd = d +. w in
+            if nd < dist.(u) then begin
+              dist.(u) <- nd;
+              parent.(u) <- v;
+              Pqueue.push q ~key:nd u
+            end)
+      end;
+      drain ()
+  in
+  drain ();
+  { dist; parent }
+
+let dijkstra g ~src = dijkstra_from g [ (src, 0.0) ]
+
+let dijkstra_multi g ~srcs = dijkstra_from g (List.map (fun s -> (s, 0.0)) srcs)
+
+let dijkstra_hops g ~src =
+  let n = Graph.n g in
+  let dist = Array.make n infinity
+  and parent = Array.make n (-1)
+  and hops = Array.make n max_int in
+  let settled = Array.make n false in
+  let q = Pqueue.create ~capacity:(max 16 n) () in
+  dist.(src) <- 0.0;
+  hops.(src) <- 0;
+  Pqueue.push q ~key:0.0 src;
+  let rec drain () =
+    match Pqueue.pop q with
+    | None -> ()
+    | Some (d, v) ->
+      if not settled.(v) && d <= dist.(v) then begin
+        settled.(v) <- true;
+        Graph.iter_neighbors g v (fun u w ->
+            let nd = d +. w in
+            if nd < dist.(u) || (nd = dist.(u) && hops.(v) + 1 < hops.(u)) then begin
+              dist.(u) <- nd;
+              hops.(u) <- hops.(v) + 1;
+              parent.(u) <- v;
+              Pqueue.push q ~key:nd u
+            end)
+      end;
+      drain ()
+  in
+  drain ();
+  ({ dist; parent }, hops)
+
+(* One synchronous Bellman-Ford round: every vertex with a finite current
+   estimate offers [d + w] to each neighbour. Returns whether anything
+   improved. Using double buffering keeps the semantics exactly
+   "d^(t) = min over paths with at most t edges". *)
+let bf_round g dist next parent =
+  let improved = ref false in
+  Array.blit dist 0 next 0 (Array.length dist);
+  Array.iteri
+    (fun v d ->
+      if d < infinity then
+        Graph.iter_neighbors g v (fun u w ->
+            let nd = d +. w in
+            if nd < next.(u) then begin
+              next.(u) <- nd;
+              parent.(u) <- v;
+              improved := true
+            end))
+    dist;
+  Array.blit next 0 dist 0 (Array.length dist);
+  !improved
+
+let bellman_ford_multi g ~srcs ~hops =
+  let n = Graph.n g in
+  let dist = Array.make n infinity and parent = Array.make n (-1) in
+  List.iter (fun (s, d0) -> if d0 < dist.(s) then dist.(s) <- d0) srcs;
+  let next = Array.make n infinity in
+  let rec run t = if t < hops && bf_round g dist next parent then run (t + 1) in
+  run 0;
+  { dist; parent }
+
+let bellman_ford g ~src ~hops = bellman_ford_multi g ~srcs:[ (src, 0.0) ] ~hops
+
+let bellman_ford_limited g ~src ~hops ~keep_going =
+  let n = Graph.n g in
+  let dist = Array.make n infinity and parent = Array.make n (-1) in
+  dist.(src) <- 0.0;
+  let next = Array.make n infinity in
+  let round () =
+    let improved = ref false in
+    Array.blit dist 0 next 0 n;
+    Array.iteri
+      (fun v d ->
+        if d < infinity && (v = src || keep_going v d) then
+          Graph.iter_neighbors g v (fun u w ->
+              let nd = d +. w in
+              if nd < next.(u) then begin
+                next.(u) <- nd;
+                parent.(u) <- v;
+                improved := true
+              end))
+      dist;
+    Array.blit next 0 dist 0 n;
+    !improved
+  in
+  let rec run t = if t < hops && round () then run (t + 1) in
+  run 0;
+  { dist; parent }
+
+let path_to { dist; parent } v =
+  if dist.(v) = infinity then None
+  else begin
+    let rec walk v acc = if parent.(v) = -1 then v :: acc else walk parent.(v) (v :: acc) in
+    Some (walk v [])
+  end
+
+let path_weight g path =
+  let rec go acc = function
+    | [] | [ _ ] -> acc
+    | u :: (v :: _ as rest) -> (
+      match Graph.weight g u v with
+      | Some w -> go (acc +. w) rest
+      | None -> invalid_arg "Sssp.path_weight: not a path")
+  in
+  go 0.0 path

@@ -1,0 +1,236 @@
+type t = {
+  root : int;
+  parent : int array; (* -1 root, -2 absent *)
+  wparent : float array;
+  children : int array array;
+  depth : int array; (* -1 absent *)
+  order : int array; (* tree vertices in BFS order from the root *)
+  sizes : int array;
+  heavy : int array; (* -1 at leaves / absent *)
+}
+
+let absent = -2
+
+let mem t v = v >= 0 && v < Array.length t.parent && t.parent.(v) <> absent
+let root t = t.root
+let size t = Array.length t.order
+let capacity t = Array.length t.parent
+
+let check_mem t v fn =
+  if not (mem t v) then
+    invalid_arg (Printf.sprintf "Tree.%s: vertex %d not in tree" fn v)
+
+let build ~root ~parent ~wparent =
+  let n = Array.length parent in
+  if root < 0 || root >= n || parent.(root) <> -1 then
+    invalid_arg "Tree: root must be in range with parent = -1";
+  let member = Array.map (fun p -> p <> absent) parent in
+  (* children rows *)
+  let ccount = Array.make n 0 in
+  Array.iter
+    (fun p ->
+      if p >= 0 then begin
+        if not member.(p) then invalid_arg "Tree: parent outside tree";
+        ccount.(p) <- ccount.(p) + 1
+      end)
+    parent;
+  let children = Array.init n (fun v -> Array.make ccount.(v) 0) in
+  let fill = Array.make n 0 in
+  for v = 0 to n - 1 do
+    let p = parent.(v) in
+    if p >= 0 then begin
+      children.(p).(fill.(p)) <- v;
+      fill.(p) <- fill.(p) + 1
+    end
+  done;
+  (* BFS order from the root; also validates reachability/acyclicity *)
+  let depth = Array.make n (-1) in
+  let order = Array.make n 0 in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  depth.(root) <- 0;
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    order.(!count) <- v;
+    incr count;
+    Array.iter
+      (fun c ->
+        depth.(c) <- depth.(v) + 1;
+        Queue.add c queue)
+      children.(v)
+  done;
+  let members = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 member in
+  if !count <> members then invalid_arg "Tree: disconnected or cyclic parent array";
+  let order = Array.sub order 0 !count in
+  (* subtree sizes and heavy children: reverse BFS order is leaves-first *)
+  let sizes = Array.make n 0 and heavy = Array.make n (-1) in
+  for i = !count - 1 downto 0 do
+    let v = order.(i) in
+    sizes.(v) <- 1 + Array.fold_left (fun acc c -> acc + sizes.(c)) 0 children.(v);
+    let best = ref (-1) and best_size = ref 0 in
+    Array.iter
+      (fun c ->
+        if sizes.(c) > !best_size then begin
+          best := c;
+          best_size := sizes.(c)
+        end)
+      children.(v);
+    heavy.(v) <- !best
+  done;
+  { root; parent; wparent; children; depth; order; sizes; heavy }
+
+let of_parents ~root ~parent ~wparent =
+  if Array.length parent <> Array.length wparent then
+    invalid_arg "Tree.of_parents: array length mismatch";
+  build ~root ~parent:(Array.copy parent) ~wparent:(Array.copy wparent)
+
+let of_tree_graph g ~root =
+  let n = Graph.n g in
+  if Graph.m g <> n - 1 || not (Graph.is_connected g) then
+    invalid_arg "Tree.of_tree_graph: graph is not a tree";
+  let parent = Array.make n absent and wparent = Array.make n 0.0 in
+  let queue = Queue.create () in
+  parent.(root) <- -1;
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    Graph.iter_neighbors g v (fun u w ->
+        if parent.(u) = absent then begin
+          parent.(u) <- v;
+          wparent.(u) <- w;
+          Queue.add u queue
+        end)
+  done;
+  build ~root ~parent ~wparent
+
+let bfs_spanning g ~root =
+  let n = Graph.n g in
+  let parent = Array.make n absent and wparent = Array.make n 0.0 in
+  let queue = Queue.create () in
+  parent.(root) <- -1;
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    Graph.iter_neighbors g v (fun u w ->
+        if parent.(u) = absent then begin
+          parent.(u) <- v;
+          wparent.(u) <- w;
+          Queue.add u queue
+        end)
+  done;
+  build ~root ~parent ~wparent
+
+let shortest_path_tree g ~root =
+  let { Sssp.dist; parent = sp } = Sssp.dijkstra g ~src:root in
+  let n = Graph.n g in
+  let parent = Array.make n absent and wparent = Array.make n 0.0 in
+  parent.(root) <- -1;
+  for v = 0 to n - 1 do
+    if v <> root && dist.(v) < infinity then begin
+      parent.(v) <- sp.(v);
+      wparent.(v) <-
+        (match Graph.weight g v sp.(v) with Some w -> w | None -> assert false)
+    end
+  done;
+  build ~root ~parent ~wparent
+
+let vertices t = Array.to_list t.order |> List.sort compare
+
+let parent t v =
+  check_mem t v "parent";
+  t.parent.(v)
+
+let weight_to_parent t v =
+  check_mem t v "weight_to_parent";
+  if v = t.root then invalid_arg "Tree.weight_to_parent: root has no parent";
+  t.wparent.(v)
+
+let children t v =
+  check_mem t v "children";
+  t.children.(v)
+
+let depth t v =
+  check_mem t v "depth";
+  t.depth.(v)
+
+let height t = Array.fold_left (fun acc v -> max acc t.depth.(v)) 0 t.order
+
+let subtree_size t v =
+  check_mem t v "subtree_size";
+  t.sizes.(v)
+
+let heavy_child t v =
+  check_mem t v "heavy_child";
+  if t.heavy.(v) < 0 then None else Some t.heavy.(v)
+
+let is_light_edge t v =
+  check_mem t v "is_light_edge";
+  if v = t.root then invalid_arg "Tree.is_light_edge: root";
+  t.heavy.(t.parent.(v)) <> v
+
+let lca t u v =
+  check_mem t u "lca";
+  check_mem t v "lca";
+  let rec climb u v =
+    if u = v then u
+    else if t.depth.(u) >= t.depth.(v) then climb t.parent.(u) v
+    else climb u t.parent.(v)
+  in
+  climb u v
+
+let path t u v =
+  let a = lca t u v in
+  let rec up x acc = if x = a then x :: acc else up t.parent.(x) (x :: acc) in
+  let left = List.rev (up u []) in
+  let right = up v [] in
+  match right with
+  | [] -> assert false
+  | _ :: below_lca -> left @ below_lca
+
+let dist_hops t u v =
+  let a = lca t u v in
+  t.depth.(u) + t.depth.(v) - (2 * t.depth.(a))
+
+let dist_weight t u v =
+  let a = lca t u v in
+  let rec up x acc = if x = a then acc else up t.parent.(x) (acc +. t.wparent.(x)) in
+  up u 0.0 +. up v 0.0
+
+let dfs_intervals t =
+  let n = Array.length t.parent in
+  let entry = Array.make n (-1) and exit_ = Array.make n (-1) in
+  (* Iterative DFS, heavy child first then remaining children by id. *)
+  let next_time = ref 0 in
+  let stack = Stack.create () in
+  Stack.push (`Enter t.root) stack;
+  while not (Stack.is_empty stack) do
+    match Stack.pop stack with
+    | `Exit v -> exit_.(v) <- !next_time - 1
+    | `Enter v ->
+      entry.(v) <- !next_time;
+      incr next_time;
+      Stack.push (`Exit v) stack;
+      (* push in reverse visit order *)
+      let h = t.heavy.(v) in
+      let rest =
+        Array.to_list t.children.(v) |> List.filter (fun c -> c <> h) |> List.rev
+      in
+      List.iter (fun c -> Stack.push (`Enter c) stack) rest;
+      if h >= 0 then Stack.push (`Enter h) stack
+  done;
+  Array.init n (fun v -> (entry.(v), exit_.(v)))
+
+let light_edges_to_root t v =
+  check_mem t v "light_edges_to_root";
+  let rec up x acc =
+    if x = t.root then acc
+    else
+      let p = t.parent.(x) in
+      let acc = if t.heavy.(p) <> x then (p, x) :: acc else acc in
+      up p acc
+  in
+  up v []
+
+let pp ppf t =
+  Format.fprintf ppf "tree(root=%d, size=%d, height=%d)" t.root (size t) (height t)

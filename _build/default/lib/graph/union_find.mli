@@ -1,0 +1,13 @@
+(** Disjoint-set forest with union by rank and path compression. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+val union : t -> int -> int -> bool
+(** [union t a b] merges the two classes; returns [false] if they were
+    already merged. *)
+
+val same : t -> int -> int -> bool
+val count : t -> int
+(** Number of disjoint classes. *)

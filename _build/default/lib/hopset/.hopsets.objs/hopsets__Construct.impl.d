@@ -1,0 +1,1 @@
+lib/hopset/construct.ml: Array Dgraph Graph Hashtbl Hopset List Printf Random Sssp Virtual_graph

@@ -1,0 +1,1 @@
+lib/hopset/construct.mli: Hopset Random Virtual_graph

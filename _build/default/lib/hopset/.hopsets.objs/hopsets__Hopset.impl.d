@@ -1,0 +1,1 @@
+lib/hopset/hopset.ml: Arboricity Array Dgraph Graph Hashtbl List Option Random Sssp Virtual_graph

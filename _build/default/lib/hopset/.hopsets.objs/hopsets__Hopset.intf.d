@@ -1,0 +1,1 @@
+lib/hopset/hopset.mli: Random Virtual_graph

@@ -1,0 +1,1 @@
+lib/hopset/virtual_graph.ml: Array Dgraph Float Graph List Random Sssp

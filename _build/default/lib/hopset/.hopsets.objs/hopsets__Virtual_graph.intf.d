@@ -1,0 +1,1 @@
+lib/hopset/virtual_graph.mli: Dgraph Random

@@ -1,0 +1,113 @@
+open Dgraph
+
+let tz_hopset ~rng ~lambda vg =
+  if lambda < 2 then invalid_arg "Construct.tz_hopset: lambda >= 2 required";
+  let g = Virtual_graph.host vg in
+  let mv = Virtual_graph.members vg in
+  let m = Array.length mv in
+  (* level per virtual index: geometric with ratio m^{-1/lambda} *)
+  let p = float_of_int (max m 2) ** (-1.0 /. float_of_int lambda) in
+  let level =
+    Array.init m (fun _ ->
+        let rec climb l =
+          if l >= lambda - 1 then l
+          else if Random.State.float rng 1.0 < p then climb (l + 1)
+          else l
+        in
+        climb 0)
+  in
+  (* d(v', A_i) for each level over virtual members, via host Dijkstra *)
+  let dist_to_level = Array.make (lambda + 1) [||] in
+  let pivot_of_level = Array.make (lambda + 1) [||] in
+  for i = 0 to lambda - 1 do
+    let srcs = ref [] in
+    for j = m - 1 downto 0 do
+      if level.(j) >= i then srcs := mv.(j) :: !srcs
+    done;
+    if !srcs = [] then begin
+      dist_to_level.(i) <- Array.make (Graph.n g) infinity;
+      pivot_of_level.(i) <- Array.make (Graph.n g) (-1)
+    end
+    else begin
+      let res = Sssp.dijkstra_multi g ~srcs:!srcs in
+      dist_to_level.(i) <- res.Sssp.dist;
+      (* attribute nearest source by walking parents *)
+      let src = Array.make (Graph.n g) (-1) in
+      List.iter (fun s -> src.(s) <- s) !srcs;
+      let rec resolve v =
+        if src.(v) >= 0 then src.(v)
+        else if res.Sssp.parent.(v) < 0 then -1
+        else begin
+          let s = resolve res.Sssp.parent.(v) in
+          src.(v) <- s;
+          s
+        end
+      in
+      Array.iteri (fun v _ -> ignore (resolve v)) src;
+      pivot_of_level.(i) <- src
+    end
+  done;
+  dist_to_level.(lambda) <- Array.make (Graph.n g) infinity;
+  pivot_of_level.(lambda) <- Array.make (Graph.n g) (-1);
+  (* Grow bunch edges: for every virtual w', Dijkstra once, collect the
+     virtual v' with d(w',v') < d(v', A_{level(w')+1}); the host path comes
+     from the same Dijkstra. *)
+  let seen = Hashtbl.create (4 * m) in
+  let acc = ref [] in
+  (* [res] must be a Dijkstra result rooted at one of the two endpoints;
+     [leaf] is the other endpoint. *)
+  let add_edge res ~leaf ~from_v ~to_w d =
+    let key = if from_v < to_w then (from_v, to_w) else (to_w, from_v) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      match Sssp.path_to res leaf with
+      | None -> ()
+      | Some host_path ->
+        let path = Array.of_list host_path in
+        let path =
+          if path.(0) = from_v then path
+          else begin
+            let r = Array.length path in
+            Array.init r (fun i -> path.(r - 1 - i))
+          end
+        in
+        acc := { Hopset.x = from_v; y = to_w; w = d; path } :: !acc
+    end
+  in
+  for jw = 0 to m - 1 do
+    let w' = mv.(jw) in
+    let iw = level.(jw) in
+    let res = Sssp.dijkstra g ~src:w' in
+    for jv = 0 to m - 1 do
+      let v' = mv.(jv) in
+      if v' <> w' then begin
+        let d = res.Sssp.dist.(v') in
+        if d < dist_to_level.(iw + 1).(v') then
+          (* v' stores this bunch edge: orient x = v' *)
+          add_edge res ~leaf:v' ~from_v:v' ~to_w:w' d
+      end
+    done
+  done;
+  (* Pivot edges: v' -> nearest member of each level (one Dijkstra per v'
+     that still needs any) *)
+  for jv = 0 to m - 1 do
+    let v' = mv.(jv) in
+    let needed = ref [] in
+    for i = lambda - 1 downto 1 do
+      let pvt = pivot_of_level.(i).(v') in
+      if pvt >= 0 && pvt <> v' then begin
+        let key = if v' < pvt then (v', pvt) else (pvt, v') in
+        if not (Hashtbl.mem seen key) && not (List.mem pvt !needed) then
+          needed := pvt :: !needed
+      end
+    done;
+    if !needed <> [] then begin
+      let res = Sssp.dijkstra g ~src:v' in
+      List.iter (fun pvt -> add_edge res ~leaf:pvt ~from_v:v' ~to_w:pvt res.Sssp.dist.(pvt)) !needed
+    end
+  done;
+  Hopset.make vg !acc
+
+let stats h =
+  Printf.sprintf "hopset(|H|=%d, max_store=%d, forests<=%d)" (Hopset.size h)
+    (Hopset.max_out_degree h) (Hopset.measured_arboricity h)

@@ -1,0 +1,25 @@
+(** Hopset construction on the implicit virtual graph.
+
+    We build Thorup–Zwick *emulator* hopsets: sample a [λ]-level hierarchy
+    on [V'], and take as hopset edges every bunch pair
+    [{v', w'} : w' ∈ A_i \ A_{i+1}, d(v',w') < d(v', A_{i+1})] plus every
+    pivot pair [{v', p_i(v')}], weighted with the exact virtual distance and
+    carrying the realizing host path. Huang & Pettie (2019) proved this
+    edge set is a [(β, ε)]-hopset with [β = O((λ + 1/ε))^{λ-1}] — the same
+    regime as the [EN17b] hopsets the paper plugs in, with the same
+    [Õ(m^{1/λ})] per-vertex storage: every vertex keeps only its own bunch
+    (its "parents in the arboricity decomposition").
+
+    Substitution note (see DESIGN.md): distances between virtual vertices
+    are computed by host-graph Dijkstra rather than by [O(1/ρ)] rounds of
+    [B]-bounded waves; under Claim 7 both yield [d_{G'}] exactly, and the
+    distributed round cost of the waves is what {!module:Routing.Cost}
+    charges. *)
+
+val tz_hopset :
+  rng:Random.State.t -> lambda:int -> Virtual_graph.t -> Hopset.t
+(** [lambda ≥ 2] is the hierarchy depth: storage per virtual vertex is
+    [Õ(m^{1/λ})] and the hop bound grows with [λ]. *)
+
+val stats : Hopset.t -> string
+(** One-line summary: size, max out-degree, measured arboricity. *)

@@ -1,0 +1,180 @@
+open Dgraph
+
+type edge = { x : int; y : int; w : float; path : int array }
+
+type t = {
+  vg : Virtual_graph.t;
+  edges : edge array;
+  out : int list array; (* host vertex -> indices of edges oriented out of it *)
+}
+
+let make vg edge_list =
+  let g = Virtual_graph.host vg in
+  List.iter
+    (fun e ->
+      if not (Virtual_graph.is_virtual vg e.x && Virtual_graph.is_virtual vg e.y)
+      then invalid_arg "Hopset.make: endpoint not virtual";
+      let len = Array.length e.path in
+      if len < 2 || e.path.(0) <> e.x || e.path.(len - 1) <> e.y then
+        invalid_arg "Hopset.make: path does not connect endpoints";
+      let pw = Sssp.path_weight g (Array.to_list e.path) in
+      if abs_float (pw -. e.w) > 1e-6 *. (1.0 +. abs_float e.w) then
+        invalid_arg "Hopset.make: path weight mismatch")
+    edge_list;
+  let edges = Array.of_list edge_list in
+  let out = Array.make (Graph.n g) [] in
+  Array.iteri (fun i e -> out.(e.x) <- i :: out.(e.x)) edges;
+  { vg; edges; out }
+
+let virtual_graph t = t.vg
+let edges t = t.edges
+let size t = Array.length t.edges
+let out_edges t v = t.out.(v)
+let max_out_degree t = Array.fold_left (fun acc l -> max acc (List.length l)) 0 t.out
+
+let measured_arboricity t =
+  (* build the hopset as a graph on virtual indices *)
+  let vg = t.vg in
+  let m = Virtual_graph.size vg in
+  let es =
+    Array.to_list t.edges
+    |> List.filter_map (fun e ->
+           match (Virtual_graph.to_virtual vg e.x, Virtual_graph.to_virtual vg e.y) with
+           | Some i, Some j when i <> j -> Some { Graph.u = i; v = j; w = e.w }
+           | _ -> None)
+  in
+  if es = [] then 0 else Arboricity.forest_count (Graph.of_edges ~n:m es)
+
+type provenance = Unreached | Source | Via_host of int | Via_hopset of int
+
+(* Shared engine behind [run], [run_attributed] and [run_limited]. [beta]
+   iterations, each a B-bounded host wave (the E' relaxation) followed by the
+   explicit hopset-edge relaxation; origins are propagated alongside. *)
+let run_core t ~sources ~beta ~keep_host ~keep_virtual =
+  let g = Virtual_graph.host t.vg in
+  let n = Graph.n g in
+  let dist = Array.make n infinity in
+  let prov = Array.make n Unreached in
+  let origin = Array.make n (-1) in
+  let is_source = Array.make n false in
+  List.iter
+    (fun (s, d0) ->
+      is_source.(s) <- true;
+      if d0 < dist.(s) then begin
+        dist.(s) <- d0;
+        prov.(s) <- Source;
+        origin.(s) <- s
+      end)
+    sources;
+  let keep_host v d = is_source.(v) || keep_host v d in
+  let keep_virtual v d = is_source.(v) || keep_virtual v d in
+  for _ = 1 to beta do
+    (* (a) E' relaxation: one B-bounded limited wave in the host graph *)
+    let dist', parent = Virtual_graph.bf_iteration_limited t.vg dist ~keep_going:keep_host in
+    let improved = Array.make n false in
+    Array.iteri (fun v d -> if d < dist.(v) then improved.(v) <- true) dist';
+    (* origin resolution: follow wave-parents back to a non-improved vertex *)
+    let rec resolve v =
+      if not improved.(v) then origin.(v)
+      else begin
+        (* mark resolved by clearing the flag after computing *)
+        let o = resolve parent.(v) in
+        improved.(v) <- false;
+        dist.(v) <- dist'.(v);
+        prov.(v) <- Via_host parent.(v);
+        origin.(v) <- o;
+        o
+      end
+    in
+    Array.iteri (fun v imp -> if imp then ignore (resolve v)) improved;
+    (* (b) hopset edge relaxation (both directions of each stored edge) *)
+    Array.iteri
+      (fun i e ->
+        if dist.(e.x) < infinity && keep_virtual e.x dist.(e.x)
+           && dist.(e.x) +. e.w < dist.(e.y) then begin
+          dist.(e.y) <- dist.(e.x) +. e.w;
+          prov.(e.y) <- Via_hopset i;
+          origin.(e.y) <- origin.(e.x)
+        end;
+        if dist.(e.y) < infinity && keep_virtual e.y dist.(e.y)
+           && dist.(e.y) +. e.w < dist.(e.x) then begin
+          dist.(e.x) <- dist.(e.y) +. e.w;
+          prov.(e.x) <- Via_hopset i;
+          origin.(e.x) <- origin.(e.y)
+        end)
+      t.edges
+  done;
+  (dist, prov, origin)
+
+let no_limit _ _ = true
+
+let run t ~sources ~beta =
+  let dist, prov, _ =
+    run_core t ~sources ~beta ~keep_host:no_limit ~keep_virtual:no_limit
+  in
+  (dist, prov)
+
+let run_attributed t ~sources ~beta =
+  run_core t ~sources ~beta ~keep_host:no_limit ~keep_virtual:no_limit
+
+let run_limited t ~sources ~beta ~keep_host ~keep_virtual =
+  let dist, prov, _ = run_core t ~sources ~beta ~keep_host ~keep_virtual in
+  (dist, prov)
+
+let beta_distance t ~src ~dst ~beta =
+  let dist, _ = run t ~sources:[ (src, 0.0) ] ~beta in
+  dist.(dst)
+
+type check = {
+  pairs : int;
+  violations : int;
+  worst_ratio : float;
+  beta : int;
+  epsilon : float;
+}
+
+let sample_pairs ~rng t pairs =
+  let mv = Virtual_graph.members t.vg in
+  let m = Array.length mv in
+  List.init pairs (fun _ ->
+      (mv.(Random.State.int rng m), mv.(Random.State.int rng m)))
+  |> List.filter (fun (a, b) -> a <> b)
+
+let verify ~rng t ~beta ~epsilon ~pairs =
+  let g = Virtual_graph.host t.vg in
+  let ps = sample_pairs ~rng t pairs in
+  (* group by source to share Dijkstra and hopset runs *)
+  let by_src = Hashtbl.create 16 in
+  List.iter
+    (fun (s, d) ->
+      Hashtbl.replace by_src s (d :: Option.value ~default:[] (Hashtbl.find_opt by_src s)))
+    ps;
+  let violations = ref 0 and worst = ref 1.0 and count = ref 0 in
+  Hashtbl.iter
+    (fun s dsts ->
+      let exact = (Sssp.dijkstra g ~src:s).Sssp.dist in
+      let est, _ = run t ~sources:[ (s, 0.0) ] ~beta in
+      List.iter
+        (fun dst ->
+          if exact.(dst) < infinity && exact.(dst) > 0.0 then begin
+            incr count;
+            let ratio = est.(dst) /. exact.(dst) in
+            if ratio > !worst then worst := ratio;
+            if ratio > 1.0 +. epsilon +. 1e-9 then incr violations
+          end)
+        dsts)
+    by_src;
+  { pairs = !count; violations = !violations; worst_ratio = !worst; beta; epsilon }
+
+let measure_beta ~rng t ~epsilon ~pairs ~max_beta =
+  let seed = Random.State.int rng 1_000_000 in
+  let rec search beta =
+    if beta > max_beta then None
+    else begin
+      let r = Random.State.make [| seed |] in
+      let c = verify ~rng:r t ~beta ~epsilon ~pairs in
+      if c.violations = 0 then Some beta
+      else search (beta + max 1 (beta / 2))
+    end
+  in
+  search 1

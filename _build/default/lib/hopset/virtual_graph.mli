@@ -1,0 +1,63 @@
+(** The implicit virtual graph [G' = (V', E')] of Appendix B.
+
+    [V'] is a set of "virtual" vertices of a host graph [G]; the virtual
+    edge [{u', v'}] has weight [d_G^{(B)}(u', v')] — the [B]-hop-bounded
+    distance in [G]. The whole point of the paper is that [E'] is *never*
+    materialized: every operation here is implemented by hop-bounded
+    Bellman–Ford waves in the host graph, exactly as a CONGEST node would
+    run them, and reports the exact round cost of doing so.
+
+    When [V'] contains a vertex in every [B]-hop window of every shortest
+    path (Claim 7, guaranteed whp by sampling with probability
+    [≥ (ln n)/B]), virtual distances coincide with host distances:
+    [d_{G'}(u', v') = d_G(u', v')]. *)
+
+type t
+
+val make : Dgraph.Graph.t -> members:int list -> b:int -> t
+(** [members] are the virtual vertices; [b] is the hop bound [B]. *)
+
+val sample :
+  rng:Random.State.t -> Dgraph.Graph.t -> b:int -> t
+(** Sample each host vertex into [V'] independently with probability
+    [4 ln n / b] (capped at 1) — the density that makes Claim 7 hold whp. *)
+
+val host : t -> Dgraph.Graph.t
+val b : t -> int
+val size : t -> int
+(** [|V'|]. *)
+
+val members : t -> int array
+val is_virtual : t -> int -> bool
+
+val bf_iteration : t -> float array -> float array * int array
+(** One Bellman–Ford iteration *on the virtual graph*, implemented as a
+    [B]-round bounded wave in the host graph: given per-host-vertex
+    estimates (usually [infinity] off [V']), returns updated estimates for
+    every host vertex — so [est'.(v') = min(est.(v'), min_{u'} est.(u') +
+    d^{(B)}(u', v'))] for virtual vertices, and intermediate host vertices
+    see the passing wave too (the paper uses this to grow cluster trees).
+    Second component: the host-graph parent of each improved vertex.
+    Host-round cost: [b t]. *)
+
+val bf_iteration_limited :
+  t ->
+  float array ->
+  keep_going:(int -> float -> bool) ->
+  float array * int array
+(** Like {!bf_iteration}, but a vertex [u] holding estimate [d] only extends
+    the wave when [keep_going u d] holds — the "limited" explorations used
+    to grow (approximate) clusters without flooding the graph. Vertices that
+    fail the predicate still *receive* values. *)
+
+val edges_from : t -> int -> (int * float) list
+(** The virtual edges incident to one virtual vertex, computed on demand:
+    [(u', d^{(B)}(v', u'))] for every virtual [u'] within [B] hops.
+    Host-round cost: [b t]. *)
+
+val explicit : t -> Dgraph.Graph.t
+(** Materialize [G'] with vertices renumbered [0..size-1] in [members]
+    order — for tests ONLY (this is exactly what the paper avoids). *)
+
+val to_virtual : t -> int -> int option
+(** Host id -> index in [members], if virtual. *)

@@ -1,0 +1,1 @@
+lib/tz/cluster.ml: Array Dgraph Graph Hierarchy List Pqueue Tree

@@ -1,0 +1,1 @@
+lib/tz/cluster.mli: Dgraph Hierarchy

@@ -1,0 +1,1 @@
+lib/tz/graph_routing.ml: Array Cluster Dgraph Graph Hashtbl Hierarchy List Printf Sssp Tree_routing

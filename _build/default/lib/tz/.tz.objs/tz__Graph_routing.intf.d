@@ -1,0 +1,1 @@
+lib/tz/graph_routing.mli: Cluster Dgraph Hashtbl Hierarchy Random Tree_routing

@@ -1,0 +1,1 @@
+lib/tz/hierarchy.ml: Array Dgraph Format Graph List Printf Random Sssp

@@ -1,0 +1,1 @@
+lib/tz/hierarchy.mli: Dgraph Format Random

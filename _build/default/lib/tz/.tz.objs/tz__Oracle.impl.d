@@ -1,0 +1,1 @@
+lib/tz/oracle.ml: Array Cluster Hashtbl Hierarchy List

@@ -1,0 +1,1 @@
+lib/tz/oracle.mli: Dgraph Hierarchy Random

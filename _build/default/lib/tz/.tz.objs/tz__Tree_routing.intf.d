@@ -1,0 +1,1 @@
+lib/tz/tree_routing.mli: Dgraph

@@ -1,0 +1,74 @@
+open Dgraph
+
+type t = {
+  owner : int;
+  owner_level : int;
+  tree : Tree.t;
+  dist : (int * float) list;
+}
+
+let of_owner g h w =
+  let n = Graph.n g in
+  let i = Hierarchy.level h w in
+  let bound v = Hierarchy.dist_to_level h (i + 1) v in
+  let dist = Array.make n infinity and parent = Array.make n (-2) in
+  let wparent = Array.make n 0.0 in
+  let settled = Array.make n false in
+  let q = Pqueue.create () in
+  dist.(w) <- 0.0;
+  parent.(w) <- -1;
+  Pqueue.push q ~key:0.0 w;
+  let members = ref [] in
+  let rec drain () =
+    match Pqueue.pop q with
+    | None -> ()
+    | Some (d, v) ->
+      if (not settled.(v)) && d <= dist.(v) then begin
+        settled.(v) <- true;
+        if d < bound v then begin
+          members := (v, d) :: !members;
+          Graph.iter_neighbors g v (fun u ew ->
+              let nd = d +. ew in
+              if nd < dist.(u) then begin
+                dist.(u) <- nd;
+                parent.(u) <- v;
+                wparent.(u) <- ew;
+                Pqueue.push q ~key:nd u
+              end)
+        end
+        else begin
+          (* v is outside the cluster: forget the tentative parent edge *)
+          parent.(v) <- -2
+        end
+      end;
+      drain ()
+  in
+  drain ();
+  (* Cluster prefix-closedness (TZ01a, Lemma) guarantees that every settled
+     inside-vertex has an inside parent, so [parent] restricted to members is
+     already a tree rooted at [w]. *)
+  let tree = Tree.of_parents ~root:w ~parent ~wparent in
+  { owner = w; owner_level = i; tree; dist = List.rev !members }
+
+let all g h = Array.init (Graph.n g) (fun w -> of_owner g h w)
+
+let mem c v = Tree.mem c.tree v
+
+let bunches g h =
+  let n = Graph.n g in
+  let b = Array.make n [] in
+  Array.iter
+    (fun c -> List.iter (fun (v, d) -> b.(v) <- (c.owner, d) :: b.(v)) c.dist)
+    (all g h);
+  b
+
+let max_membership clusters =
+  match Array.length clusters with
+  | 0 -> 0
+  | _ ->
+    let n = Tree.capacity clusters.(0).tree in
+    let count = Array.make n 0 in
+    Array.iter
+      (fun c -> List.iter (fun (v, _) -> count.(v) <- count.(v) + 1) c.dist)
+      clusters;
+    Array.fold_left max 0 count

@@ -1,0 +1,31 @@
+(** Thorup–Zwick clusters, cluster trees and bunches.
+
+    For [w ∈ A_i \ A_{i+1}] the cluster is
+    [C(w) = { v : d(w,v) < d(v, A_{i+1}) }]. Clusters are prefix-closed along
+    shortest paths, so the truncated Dijkstra that grows them also yields a
+    shortest-path *tree* spanning [C(w)] — the tree all routing happens in.
+    The bunch [B(v) = { w : v ∈ C(w) }] is the dual object used by the
+    distance oracle; whp [|B(v)| = O(k n^{1/k} log n)]. *)
+
+type t = {
+  owner : int;
+  owner_level : int;
+  tree : Dgraph.Tree.t;  (** shortest-path tree of [C(owner)], rooted there *)
+  dist : (int * float) list;  (** members with their distance to [owner] *)
+}
+
+val of_owner : Dgraph.Graph.t -> Hierarchy.t -> int -> t
+(** Grow the cluster of one vertex by truncated Dijkstra. *)
+
+val all : Dgraph.Graph.t -> Hierarchy.t -> t array
+(** [all g h] has one entry per vertex, indexed by owner id. *)
+
+val mem : t -> int -> bool
+
+val bunches : Dgraph.Graph.t -> Hierarchy.t -> (int * float) list array
+(** [bunches g h].(v) lists [(w, d(v,w))] for every [w] with [v ∈ C(w)]
+    (computed by inverting {!all}). *)
+
+val max_membership : t array -> int
+(** Max over vertices of the number of clusters containing it — the
+    congestion parameter of Claim 6. *)

@@ -1,0 +1,103 @@
+open Dgraph
+
+type entry = { owner : int; tree_label : Tree_routing.label }
+
+type t = {
+  k : int;
+  tables : (int, Tree_routing.table) Hashtbl.t array;
+  labels : entry list array;
+}
+
+let of_parts ~k g hierarchy clusters =
+  let n = Graph.n g in
+  let tables = Array.init n (fun _ -> Hashtbl.create 8) in
+  let labels = Array.make n [] in
+  (* Per-cluster tree schemes; fill member tables as we go. *)
+  let tree_schemes =
+    Array.map
+      (fun c ->
+        let scheme = Tree_routing.build c.Cluster.tree in
+        List.iter
+          (fun (v, _) ->
+            match scheme.Tree_routing.tables.(v) with
+            | Some tab -> Hashtbl.replace tables.(v) c.Cluster.owner tab
+            | None -> assert false)
+          c.Cluster.dist;
+        scheme)
+      clusters
+  in
+  (* Labels: strict pivots, one entry per distinct pivot that clusters the
+     destination, in increasing level order. *)
+  for y = 0 to n - 1 do
+    let entries = ref [] in
+    let last = ref (-1) in
+    for i = 0 to k - 1 do
+      match Hierarchy.pivot hierarchy i y with
+      | None -> ()
+      | Some w ->
+        if w <> !last then begin
+          last := w;
+          let scheme = tree_schemes.(w) in
+          match scheme.Tree_routing.labels.(y) with
+          | Some tree_label -> entries := { owner = w; tree_label } :: !entries
+          | None -> () (* y not in C(w): promoted pivot, covered later *)
+        end
+    done;
+    labels.(y) <- List.rev !entries
+  done;
+  { k; tables; labels }
+
+let assemble ~k ~tables ~labels = { k; tables; labels }
+
+let build ~rng ~k g =
+  let hierarchy = Hierarchy.build ~rng ~k g in
+  let clusters = Cluster.all g hierarchy in
+  of_parts ~k g hierarchy clusters
+
+let k t = t.k
+let label t y = t.labels.(y)
+
+let table_words t v = 5 * Hashtbl.length t.tables.(v)
+
+let label_words t y =
+  List.fold_left
+    (fun acc e -> acc + 1 + Tree_routing.label_words e.tree_label)
+    0 t.labels.(y)
+
+let max_table_words t =
+  Array.fold_left max 0 (Array.init (Array.length t.tables) (table_words t))
+
+let max_label_words t =
+  Array.fold_left max 0 (Array.init (Array.length t.labels) (label_words t))
+
+let route t ~src ~dst =
+  if src = dst then Ok [ src ]
+  else begin
+    (* pick the first label entry whose cluster also contains the source *)
+    let rec pick = function
+      | [] -> Error "no common cluster (graph disconnected?)"
+      | e :: rest ->
+        if Hashtbl.mem t.tables.(src) e.owner then Ok e else pick rest
+    in
+    match pick t.labels.(dst) with
+    | Error _ as e -> e
+    | Ok { owner; tree_label } ->
+      let limit = 4 * Array.length t.tables in
+      let rec go v acc steps =
+        if steps > limit then Error "forwarding loop"
+        else
+          match Hashtbl.find_opt t.tables.(v) owner with
+          | None ->
+            Error (Printf.sprintf "vertex %d left cluster of %d" v owner)
+          | Some tab -> (
+            match Tree_routing.step ~me:v tab tree_label with
+            | Tree_routing.Arrived -> Ok (List.rev (v :: acc))
+            | Tree_routing.Forward next -> go next (v :: acc) (steps + 1))
+      in
+      go src [] 0
+  end
+
+let route_weight g t ~src ~dst =
+  match route t ~src ~dst with
+  | Error _ as e -> e
+  | Ok path -> Ok (Sssp.path_weight g path)

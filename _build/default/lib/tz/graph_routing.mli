@@ -1,0 +1,49 @@
+(** Thorup–Zwick compact routing for general graphs (centralized).
+
+    Built from the sampling hierarchy and the cluster trees: the routing
+    table of [x] holds, for every cluster tree containing [x], the owner id
+    and [x]'s O(1)-word tree-routing table — [Õ(n^{1/k})] words whp
+    (Claim 6). The label of [y] holds, for each of its (strict) pivots [w]
+    with [y ∈ C(w)], the pair [(w, y's tree label in T(w))] — [O(k log n)]
+    words. Routing tries the label entries in level order and tree-routes in
+    the first cluster tree that also contains the source; the delivered path
+    has stretch at most [4k−3] (the [TZ01b]/[Che13] row of Table 1; the
+    [4k−5] refinement trades a polylog-larger table and is reported
+    separately by the paper). *)
+
+type entry = { owner : int; tree_label : Tree_routing.label }
+
+type t
+
+val build : rng:Random.State.t -> k:int -> Dgraph.Graph.t -> t
+
+val of_parts : k:int -> Dgraph.Graph.t -> Hierarchy.t -> Cluster.t array -> t
+(** Assemble from precomputed parts (shares work with other experiments). *)
+
+val assemble :
+  k:int ->
+  tables:(int, Tree_routing.table) Hashtbl.t array ->
+  labels:entry list array ->
+  t
+(** Wrap externally built tables and labels (e.g. the approximate-cluster
+    scheme of {!module:Routing.Scheme}) so the router and the size meters
+    here can be reused. Label entries must be in level order. *)
+
+val k : t -> int
+
+val label : t -> int -> entry list
+(** Level-ordered label entries of a destination. *)
+
+val table_words : t -> int -> int
+(** Words stored by one vertex: 5 per cluster membership. *)
+
+val label_words : t -> int -> int
+val max_table_words : t -> int
+val max_label_words : t -> int
+
+val route : t -> src:int -> dst:int -> (int list, string) result
+(** Hop-by-hop forwarding; the returned path starts at [src] and ends at
+    [dst]. *)
+
+val route_weight : Dgraph.Graph.t -> t -> src:int -> dst:int -> (float, string) result
+(** Total weight of the routed path. *)

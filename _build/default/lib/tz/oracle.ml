@@ -1,0 +1,47 @@
+
+type t = {
+  k : int;
+  hierarchy : Hierarchy.t;
+  bunch : (int, float) Hashtbl.t array;
+}
+
+let of_hierarchy g h =
+  let bunches = Cluster.bunches g h in
+  let bunch =
+    Array.map
+      (fun entries ->
+        let tbl = Hashtbl.create (List.length entries) in
+        List.iter (fun (w, d) -> Hashtbl.replace tbl w d) entries;
+        tbl)
+      bunches
+  in
+  { k = Hierarchy.k h; hierarchy = h; bunch }
+
+let build ~rng ~k g = of_hierarchy g (Hierarchy.build ~rng ~k g)
+
+let k t = t.k
+
+let query t u v =
+  if u = v then 0.0
+  else begin
+    (* classical bunch walk, swapping roles each level *)
+    let rec walk i u v w du =
+      match Hashtbl.find_opt t.bunch.(v) w with
+      | Some dv -> du +. dv
+      | None ->
+        let i = i + 1 in
+        if i >= t.k then infinity
+        else begin
+          let u, v = (v, u) in
+          match Hierarchy.pivot t.hierarchy i u with
+          | None -> infinity
+          | Some w -> walk i u v w (Hierarchy.dist_to_level t.hierarchy i u)
+        end
+    in
+    walk 0 u v u 0.0
+  end
+
+let bunch_size t v = (2 * Hashtbl.length t.bunch.(v)) + t.k
+
+let max_bunch_size t =
+  Array.fold_left max 0 (Array.init (Array.length t.bunch) (bunch_size t))

@@ -1,0 +1,26 @@
+(** Thorup–Zwick approximate distance oracle (stretch [2k−1]).
+
+    Not used by the routing scheme itself, but part of the same machinery
+    (bunches are the dual of clusters) and the cheapest end-to-end sanity
+    check of the hierarchy: if the oracle's stretch bound holds, sampling,
+    pivots and bunches are all consistent. *)
+
+type t
+
+val build : rng:Random.State.t -> k:int -> Dgraph.Graph.t -> t
+
+val of_hierarchy : Dgraph.Graph.t -> Hierarchy.t -> t
+(** Reuse an existing hierarchy (e.g. to compare against a routing scheme
+    built on the same sample). *)
+
+val k : t -> int
+
+val query : t -> int -> int -> float
+(** Estimated distance: [d(u,v) ≤ query t u v ≤ (2k−1)·d(u,v)] whp.
+    [infinity] if disconnected. *)
+
+val bunch_size : t -> int -> int
+(** Number of words vertex [v] stores: [2·|B(v)| + k] (bunch entries plus
+    pivot list). *)
+
+val max_bunch_size : t -> int

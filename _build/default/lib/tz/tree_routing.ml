@@ -1,0 +1,61 @@
+open Dgraph
+
+type table = { entry : int; exit_ : int; parent : int; heavy : int }
+
+type label = {
+  target : int;
+  target_entry : int;
+  lights : (int * int) list;
+}
+
+type scheme = {
+  tree : Tree.t;
+  tables : table option array;
+  labels : label option array;
+}
+
+let build tree =
+  let cap = Tree.capacity tree in
+  let intervals = Tree.dfs_intervals tree in
+  let tables = Array.make cap None and labels = Array.make cap None in
+  List.iter
+    (fun v ->
+      let entry, exit_ = intervals.(v) in
+      let parent = if v = Tree.root tree then -1 else Tree.parent tree v in
+      let heavy = match Tree.heavy_child tree v with Some c -> c | None -> -1 in
+      tables.(v) <- Some { entry; exit_; parent; heavy };
+      let lights = Tree.light_edges_to_root tree v in
+      labels.(v) <- Some { target = v; target_entry = entry; lights })
+    (Tree.vertices tree);
+  { tree; tables; labels }
+
+let table_words _ = 4
+let label_words l = 2 + (2 * List.length l.lights)
+
+type step = Arrived | Forward of int
+
+let step ~me tab lab =
+  if lab.target_entry = tab.entry then Arrived
+  else if lab.target_entry < tab.entry || lab.target_entry > tab.exit_ then
+    Forward tab.parent
+  else
+    match List.assoc_opt me lab.lights with
+    | Some child -> Forward child
+    | None -> Forward tab.heavy
+
+let route scheme ~src ~dst =
+  let get what arr v =
+    match arr.(v) with
+    | Some x -> x
+    | None -> invalid_arg (Printf.sprintf "Tree_routing.route: no %s for vertex %d" what v)
+  in
+  let lab = get "label" scheme.labels dst in
+  let limit = 2 * Tree.size scheme.tree in
+  let rec go v acc steps =
+    if steps > limit then failwith "Tree_routing.route: forwarding loop"
+    else
+      match step ~me:v (get "table" scheme.tables v) lab with
+      | Arrived -> List.rev (v :: acc)
+      | Forward next -> go next (v :: acc) (steps + 1)
+  in
+  go src [] 0

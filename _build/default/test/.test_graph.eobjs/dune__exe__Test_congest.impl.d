@@ -1,0 +1,1 @@
+test/test_congest.ml: Alcotest Array Congest Dgraph Diameter Gen List Printf Random String Tree

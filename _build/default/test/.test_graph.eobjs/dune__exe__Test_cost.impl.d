@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Array Congest Dgraph Format Gen List Printf Random Routing String Tree Tz

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Arboricity Array Bfs Dgraph Diameter Fun Gen Graph List Pqueue Printf QCheck QCheck_alcotest Random Sssp Tree Union_find

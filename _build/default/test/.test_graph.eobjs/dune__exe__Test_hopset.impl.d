@@ -1,0 +1,1 @@
+test/test_hopset.ml: Alcotest Array Construct Dgraph Gen Graph Hopset Hopsets List Printf QCheck QCheck_alcotest Random Sssp Virtual_graph

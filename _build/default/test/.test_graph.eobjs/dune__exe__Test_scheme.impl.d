@@ -1,0 +1,1 @@
+test/test_scheme.ml: Alcotest Array Congest Dgraph Diameter Gen Graph List Printf QCheck QCheck_alcotest Random Routing Sssp Tree Tz

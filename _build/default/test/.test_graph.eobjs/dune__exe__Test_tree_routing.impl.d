@@ -1,0 +1,1 @@
+test/test_tree_routing.ml: Alcotest Array Congest Dgraph Gen Graph List Printf QCheck QCheck_alcotest Random Routing String Tree Tz

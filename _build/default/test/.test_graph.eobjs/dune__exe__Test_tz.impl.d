@@ -1,0 +1,1 @@
+test/test_tz.ml: Alcotest Array Dgraph Fun Gen Graph List Printf QCheck QCheck_alcotest Random Sssp String Tree Tz
