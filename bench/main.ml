@@ -3,7 +3,7 @@
 
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe table2     -- one experiment
-     (table1 | table2 | figA | figB | figC | figD | figE | figF | timing)
+     (table1 | table2 | figA | figB | figC | figD | figE | figF | faults | timing)
 
    The paper is a theory paper: its "evaluation" is two tables of asymptotic
    bounds. Here every column is *measured*: rounds on the CONGEST simulator
@@ -425,6 +425,71 @@ let fig_f () =
     \     too-small beta shows up as missing deliveries or extra stretch)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Faults: reliable-transport overhead vs drop rate                     *)
+(* ------------------------------------------------------------------ *)
+
+let faults () =
+  header
+    "Faults: tree-routing over the reliable transport -- overhead vs drop rate";
+  Printf.printf "%-10s %-6s | %7s %9s %9s %8s %8s | %7s %6s\n" "topology" "drop"
+    "rounds" "messages" "words" "dropped" "retrans" "x-words" "exact";
+  line ();
+  let workloads =
+    [
+      ( "er-96",
+        (let g =
+           Gen.connected_erdos_renyi ~rng:(rng 2400) ~n:96 ~avg_deg:4.0 ()
+         in
+         (g, Tree.bfs_spanning g ~root:0)) );
+      ( "grid-10x10",
+        (let g = Gen.grid ~rng:(rng 2401) ~rows:10 ~cols:10 () in
+         (g, Tree.bfs_spanning g ~root:0)) );
+    ]
+  in
+  List.iter
+    (fun (wname, (g, tree)) ->
+      (* fault-free reference over the *raw* simulator: the baseline cost and
+         the scheme every faulty run must reproduce bit-for-bit *)
+      let clean = Routing.Dist_tree_routing.run ~rng:(rng 2402) g ~tree in
+      assert (clean.Routing.Dist_tree_routing.failures = []);
+      let base_words =
+        clean.Routing.Dist_tree_routing.report.Congest.Metrics.message_words
+      in
+      List.iter
+        (fun drop ->
+          let faults =
+            if drop = 0.0 then None
+            else
+              Some
+                (Congest.Fault.make
+                   { Congest.Fault.none with seed = 31; drop })
+          in
+          let out =
+            Routing.Dist_tree_routing.run ~rng:(rng 2402) ?faults ~reliable:true
+              g ~tree
+          in
+          let m = out.Routing.Dist_tree_routing.report in
+          let exact =
+            out.Routing.Dist_tree_routing.failures = []
+            && out.Routing.Dist_tree_routing.scheme
+               = clean.Routing.Dist_tree_routing.scheme
+          in
+          Printf.printf "%-10s %-6.3f | %7d %9d %9d %8d %8d | %7.2f %6b\n" wname
+            drop m.Congest.Metrics.rounds m.Congest.Metrics.messages
+            m.Congest.Metrics.message_words m.Congest.Metrics.dropped
+            m.Congest.Metrics.retransmitted
+            (float_of_int m.Congest.Metrics.message_words
+            /. float_of_int base_words)
+            exact)
+        [ 0.0; 0.01; 0.02; 0.05 ];
+      line ())
+    workloads;
+  Printf.printf
+    "(x-words = transport words over the raw fault-free run's words: the price\n\
+     of framing, acks and retransmission. exact = the recovered scheme equals\n\
+     the fault-free scheme bit-for-bit -- drops are fully masked)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Timing: Bechamel wall-clock benches, one per construction phase      *)
 (* ------------------------------------------------------------------ *)
 
@@ -470,7 +535,9 @@ let timing () =
 
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  let all = [ table2; table1; fig_a; fig_b; fig_c; fig_d; fig_e; fig_f; timing ] in
+  let all =
+    [ table2; table1; fig_a; fig_b; fig_c; fig_d; fig_e; fig_f; faults; timing ]
+  in
   match which with
   | "all" -> List.iter (fun f -> f ()) all
   | "table1" -> table1 ()
@@ -481,8 +548,10 @@ let () =
   | "figD" -> fig_d ()
   | "figE" -> fig_e ()
   | "figF" -> fig_f ()
+  | "faults" -> faults ()
   | "timing" -> timing ()
   | other ->
     Printf.eprintf
-      "unknown experiment %S (table1|table2|figA|figB|figC|figD|figE|figF|timing|all)\n" other;
+      "unknown experiment %S (table1|table2|figA|figB|figC|figD|figE|figF|faults|timing|all)\n"
+      other;
     exit 1

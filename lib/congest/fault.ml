@@ -1,0 +1,86 @@
+type spec = {
+  seed : int;
+  drop : float;
+  duplicate : float;
+  delay : float;
+  max_delay : int;
+  link_failures : (int * int * int) list;
+  crashes : (int * int) list;
+}
+
+let none =
+  {
+    seed = 0;
+    drop = 0.0;
+    duplicate = 0.0;
+    delay = 0.0;
+    max_delay = 0;
+    link_failures = [];
+    crashes = [];
+  }
+
+type verdict = Deliver | Drop | Duplicate | Delay of int
+
+type t = {
+  spec : spec;
+  rng : Random.State.t;
+  (* (u, v) -> first round at which the directed edge u->v no longer carries
+     messages; both directions of an undirected failure are registered *)
+  down : (int * int, int) Hashtbl.t;
+  crash : (int, int) Hashtbl.t;
+}
+
+let check_prob name p =
+  if p < 0.0 || p > 1.0 then
+    invalid_arg (Printf.sprintf "Fault.make: %s probability %g not in [0,1]" name p)
+
+let make spec =
+  check_prob "drop" spec.drop;
+  check_prob "duplicate" spec.duplicate;
+  check_prob "delay" spec.delay;
+  if spec.max_delay < 0 then invalid_arg "Fault.make: negative max_delay";
+  let down = Hashtbl.create 16 in
+  List.iter
+    (fun (u, v, r) ->
+      if r < 0 then invalid_arg "Fault.make: negative link-failure round";
+      let note a b =
+        match Hashtbl.find_opt down (a, b) with
+        | Some r' when r' <= r -> ()
+        | _ -> Hashtbl.replace down (a, b) r
+      in
+      note u v;
+      note v u)
+    spec.link_failures;
+  let crash = Hashtbl.create 16 in
+  List.iter
+    (fun (v, r) ->
+      if r < 0 then invalid_arg "Fault.make: negative crash round";
+      match Hashtbl.find_opt crash v with
+      | Some r' when r' <= r -> ()
+      | _ -> Hashtbl.replace crash v r)
+    spec.crashes;
+  { spec; rng = Random.State.make [| 0x5eed; spec.seed |]; down; crash }
+
+let spec t = t.spec
+
+let link_down t ~round u v =
+  match Hashtbl.find_opt t.down (u, v) with
+  | Some r -> round >= r
+  | None -> false
+
+let crash_round t v = Hashtbl.find_opt t.crash v
+
+let classify t ~round ~src ~dst =
+  if link_down t ~round src dst then Drop
+  else begin
+    let s = t.spec in
+    (* every probabilistic feature that is switched on consumes exactly one
+       draw per message, so the rng stream — and hence the whole run — is a
+       deterministic function of the spec *)
+    let hit p = p > 0.0 && Random.State.float t.rng 1.0 < p in
+    if hit s.drop then Drop
+    else if hit s.duplicate then Duplicate
+    else if hit s.delay && s.max_delay > 0 then
+      Delay (1 + Random.State.int t.rng s.max_delay)
+    else Deliver
+  end

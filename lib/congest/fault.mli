@@ -1,0 +1,60 @@
+(** Seed-deterministic fault plans for the CONGEST simulator.
+
+    A plan describes what the *network* does to the protocol: random message
+    drops, duplications and bounded delays, permanent link failures from a
+    given round on, and crash-stop vertex failures. {!Sim.run} consults the
+    plan at the send/deliver boundary, after capacity and word-limit
+    accounting, so a faulty run is charged for every message the protocol
+    actually pushed into the network — fault injection never relaxes the
+    CONGEST constraints.
+
+    Determinism: a plan is compiled from a {!spec} whose [seed] fully
+    determines the random stream. The simulator's scheduling is itself
+    deterministic, so two runs of the same protocol under plans made from the
+    same spec produce identical outcomes and identical {!Metrics} counters.
+    A compiled plan is stateful (it consumes its random stream as the run
+    asks for verdicts): make a fresh plan for every run. *)
+
+type spec = {
+  seed : int;  (** seed of the plan's private random stream *)
+  drop : float;  (** per-message drop probability, in [0,1] *)
+  duplicate : float;  (** per-message duplication probability *)
+  delay : float;  (** per-message delay probability *)
+  max_delay : int;  (** delayed messages arrive 1..max_delay rounds late *)
+  link_failures : (int * int * int) list;
+      (** [(u, v, r)]: the undirected link u—v drops everything from round r on *)
+  crashes : (int * int) list;
+      (** [(v, r)]: vertex v crash-stops at round r — it executes no round ≥ r
+          and everything addressed to it from then on is lost *)
+}
+
+val none : spec
+(** The empty plan: seed 0, all probabilities 0, no failures. Override fields
+    with [{ Fault.none with drop = 0.05; seed = 7 }]. *)
+
+type t
+(** A compiled, stateful plan. *)
+
+val make : spec -> t
+(** Compile a spec. @raise Invalid_argument on probabilities outside [0,1],
+    negative delays or negative rounds. *)
+
+val spec : t -> spec
+
+(** {1 Queries used by the simulator} *)
+
+type verdict =
+  | Deliver
+  | Drop
+  | Duplicate  (** deliver two copies *)
+  | Delay of int  (** deliver the given number of rounds late *)
+
+val classify : t -> round:int -> src:int -> dst:int -> verdict
+(** Fate of one message crossing src->dst in the given round. Consumes the
+    plan's random stream; call exactly once per message, in a deterministic
+    order. *)
+
+val link_down : t -> round:int -> int -> int -> bool
+
+val crash_round : t -> int -> int option
+(** [crash_round t v] is the round at which [v] crash-stops, if any. *)

@@ -4,6 +4,10 @@ type t = {
   mutable message_words : int;
   peak_memory : int array;
   mutable max_edge_load : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+  mutable retransmitted : int;
 }
 
 let create ~n =
@@ -13,6 +17,10 @@ let create ~n =
     message_words = 0;
     peak_memory = Array.make n 0;
     max_edge_load = 0;
+    dropped = 0;
+    duplicated = 0;
+    delayed = 0;
+    retransmitted = 0;
   }
 
 let peak_memory_max t = Array.fold_left max 0 t.peak_memory
@@ -34,8 +42,15 @@ let merge a b =
     message_words = a.message_words + b.message_words;
     peak_memory = peak;
     max_edge_load = max a.max_edge_load b.max_edge_load;
+    dropped = a.dropped + b.dropped;
+    duplicated = a.duplicated + b.duplicated;
+    delayed = a.delayed + b.delayed;
+    retransmitted = a.retransmitted + b.retransmitted;
   }
 
 let pp ppf t =
   Format.fprintf ppf "rounds=%d msgs=%d words=%d peak_mem=%d avg_mem=%.1f"
-    t.rounds t.messages t.message_words (peak_memory_max t) (peak_memory_avg t)
+    t.rounds t.messages t.message_words (peak_memory_max t) (peak_memory_avg t);
+  if t.dropped + t.duplicated + t.delayed + t.retransmitted > 0 then
+    Format.fprintf ppf " dropped=%d dup=%d delayed=%d retx=%d" t.dropped
+      t.duplicated t.delayed t.retransmitted

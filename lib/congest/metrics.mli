@@ -3,7 +3,15 @@
     The quantities the paper states its results in: rounds elapsed, messages
     sent, and the peak number of memory *words* each vertex held. Protocols
     declare their persistent state size through {!Sim}'s [set_memory]; the
-    ledger keeps the per-vertex peak. *)
+    ledger keeps the per-vertex peak.
+
+    When a run executes under a {!Fault} plan, the fault counters record what
+    the network did to the protocol's traffic: [dropped] counts messages lost
+    to random drops, failed links and crashed receivers; [duplicated] and
+    [delayed] count transport-level duplications and deferrals; and
+    [retransmitted] counts the repair traffic of the {!Reliable} layer (the
+    retransmissions themselves are also included in [messages] — they are real
+    traffic). All four stay 0 on a fault-free run. *)
 
 type t = {
   mutable rounds : int;
@@ -12,6 +20,10 @@ type t = {
   peak_memory : int array;  (** per-vertex peak declared words *)
   mutable max_edge_load : int;
       (** max messages carried by one directed edge in one round *)
+  mutable dropped : int;  (** messages lost to faults (drops, dead links, crashes) *)
+  mutable duplicated : int;  (** extra copies injected by the fault plan *)
+  mutable delayed : int;  (** messages deferred by the fault plan *)
+  mutable retransmitted : int;  (** repair sends by the {!Reliable} layer *)
 }
 
 val create : n:int -> t
@@ -26,7 +38,7 @@ val note_memory : t -> int -> int -> unit
 
 val merge : t -> t -> t
 (** Combine metrics of two protocol phases run one after the other on the
-    same network: rounds and messages add; per-vertex memory peaks take the
-    max (memory is reused across phases, not accumulated). *)
+    same network: rounds, messages and fault counters add; per-vertex memory
+    peaks take the max (memory is reused across phases, not accumulated). *)
 
 val pp : Format.formatter -> t -> unit

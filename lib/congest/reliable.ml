@@ -1,0 +1,460 @@
+(* Reliable, round-preserving transport over the faulty simulator.
+
+   Design: an ack/retransmit sliding stream per directed link (sequence
+   numbers, cumulative acks, exponential-backoff retransmission) underneath
+   an alpha-synchronizer. Each endpoint closes every one of its *virtual*
+   rounds with an end-of-round marker on every live link; a vertex advances
+   from virtual round v to v+1 once it holds the round-v marker of every
+   live neighbour. Because the per-link stream is FIFO (sequence numbers)
+   and the marker trails the round's data, a vertex entering virtual round
+   v+1 has received exactly the messages its neighbours sent in virtual
+   round v — i.e. the protocol on top observes the same round structure,
+   the same inboxes in the same port order, as on a fault-free synchronous
+   network. That is what makes computations over this layer bit-identical
+   to their fault-free runs as long as no link is declared dead.
+
+   Failure detection: a link whose oldest unacknowledged frame has been
+   retransmitted [max_retries] times, or that withholds its end-of-round
+   marker for a whole patience window while acking everything (a peer that
+   crashed between acking and marking), is declared dead with a reason. The
+   protocol on top polls [dead_ports] and decides how to degrade. *)
+
+type config = { ack_timeout : int; backoff : int; max_retries : int }
+
+let default_config = { ack_timeout = 4; backoff = 2; max_retries = 8 }
+
+module Make (M : Sim.MESSAGE) = struct
+  type frame =
+    | Data of { seq : int; body : M.t }
+    | Eor of { seq : int; vr : int }
+    | Fin of { seq : int }
+    | Ack of { upto : int }
+
+  module F = struct
+    type t = frame
+
+    let words = function
+      | Data { body; _ } -> 2 + M.words body
+      | Eor _ -> 3
+      | Fin _ -> 2
+      | Ack _ -> 2
+  end
+
+  module S = Sim.Make (F)
+
+  type ctx = { me : int; n : int; neighbors : int array; weights : float array }
+  type inbox = (int * M.t) list
+
+  type ops = {
+    send : int -> M.t -> unit;
+    sync : unit -> inbox;
+    wait : unit -> inbox;
+    sleep_until : int -> inbox;
+    wait_until : int -> inbox;
+    round : unit -> int;
+    real_round : unit -> int;
+    set_memory : int -> unit;
+    add_memory : int -> unit;
+    dead_ports : unit -> (int * string) list;
+  }
+
+  let frame_seq = function
+    | Data { seq; _ } | Eor { seq; _ } | Fin { seq } -> seq
+    | Ack _ -> -1
+
+  type link = {
+    port : int;
+    peer : int;
+    (* outgoing stream *)
+    mutable next_seq : int;
+    unsent : frame Queue.t;
+    mutable unacked : frame list;  (* oldest first, in seq order *)
+    mutable tries : int;  (* transmissions of the current oldest unacked *)
+    mutable last_tx : int;  (* real round of its last (re)transmission *)
+    mutable sent_this_vr : int;
+    (* incoming stream *)
+    mutable recv_next : int;
+    ooo : (int, frame) Hashtbl.t;  (* out-of-order frames by seq *)
+    indata : (int * M.t) Queue.t;  (* (virtual round, payload), round-ordered *)
+    mutable peer_eor : int;  (* in-order end-of-round markers processed *)
+    mutable peer_fin : bool;
+    mutable last_heard : int;  (* real round of the last accepted frame *)
+    mutable ack_due : bool;
+    mutable dead : string option;
+  }
+
+  type t = {
+    cfg : config;
+    me : int;
+    data_cap : int;  (* protocol-level per-link-per-round send budget *)
+    data_words : int;  (* protocol-level word limit *)
+    burst : int;  (* stream frames we may push per link per real round *)
+    patience : int;  (* real rounds before a marker-withholding peer is dead *)
+    links : link array;
+    mutable vr : int;
+    mutable last_pump : int;
+  }
+
+  let ipow b e =
+    let r = ref 1 in
+    for _ = 1 to e do
+      if !r < 1 lsl 40 then r := !r * b
+    done;
+    !r
+
+  let make_ep cfg ~data_cap ~word_limit (sctx : S.ctx) =
+    {
+      cfg;
+      me = sctx.S.me;
+      data_cap;
+      data_words = word_limit;
+      burst = data_cap + 1;
+      patience = 2 * cfg.ack_timeout * ipow cfg.backoff cfg.max_retries;
+      links =
+        Array.mapi
+          (fun port peer ->
+            {
+              port;
+              peer;
+              next_seq = 0;
+              unsent = Queue.create ();
+              unacked = [];
+              tries = 0;
+              last_tx = -1;
+              sent_this_vr = 0;
+              recv_next = 0;
+              ooo = Hashtbl.create 4;
+              indata = Queue.create ();
+              peer_eor = 0;
+              peer_fin = false;
+              last_heard = 0;
+              ack_due = false;
+              dead = None;
+            })
+          sctx.S.neighbors;
+      vr = 0;
+      last_pump = -1;
+    }
+
+  let enqueue_frame l mk =
+    if l.dead = None && not l.peer_fin then begin
+      let f = mk l.next_seq in
+      l.next_seq <- l.next_seq + 1;
+      Queue.add f l.unsent
+    end
+
+  let accept l = function
+    | Data { body; _ } -> Queue.add (l.peer_eor, body) l.indata
+    | Eor { vr; _ } ->
+      assert (vr = l.peer_eor);
+      l.peer_eor <- l.peer_eor + 1
+    | Fin _ ->
+      l.peer_fin <- true;
+      (* the peer has finished: nothing we still owe it can matter *)
+      Queue.clear l.unsent;
+      l.unacked <- [];
+      l.tries <- 0
+    | Ack _ -> assert false
+
+  let process ep (port, f) =
+    let l = ep.links.(port) in
+    if l.dead = None then begin
+      match f with
+      | Ack { upto } ->
+        let before = l.unacked in
+        let rec drop = function
+          | f0 :: rest when frame_seq f0 <= upto -> drop rest
+          | rest -> rest
+        in
+        l.unacked <- drop l.unacked;
+        if l.unacked == before then ()
+        else if l.unacked = [] then l.tries <- 0
+        else begin
+          (* a younger frame is now the oldest: restart its timer *)
+          l.tries <- 1;
+          l.last_tx <- S.round ()
+        end
+      | Data _ | Eor _ | Fin _ ->
+        l.ack_due <- true;
+        let s = frame_seq f in
+        if s = l.recv_next then begin
+          l.last_heard <- S.round ();
+          accept l f;
+          l.recv_next <- s + 1;
+          let continue = ref true in
+          while !continue do
+            match Hashtbl.find_opt l.ooo l.recv_next with
+            | Some f' ->
+              Hashtbl.remove l.ooo l.recv_next;
+              accept l f';
+              l.recv_next <- l.recv_next + 1
+            | None -> continue := false
+          done
+        end
+        else if s > l.recv_next then Hashtbl.replace l.ooo s f
+      (* s < recv_next: duplicate of something delivered; the pending ack
+         repairs the peer's view *)
+    end
+
+  let timeout_of ep l = ep.cfg.ack_timeout * ipow ep.cfg.backoff (max 0 (l.tries - 1))
+
+  let pump ep =
+    let now = S.round () in
+    if ep.last_pump < now then begin
+      ep.last_pump <- now;
+      Array.iter
+        (fun l ->
+          if l.ack_due then begin
+            l.ack_due <- false;
+            S.send l.port (Ack { upto = l.recv_next - 1 })
+          end;
+          if l.dead = None then begin
+            let budget = ref ep.burst in
+            (match l.unacked with
+            | [] -> ()
+            | oldest :: _ ->
+              if now - l.last_tx >= timeout_of ep l then begin
+                if l.tries >= ep.cfg.max_retries then begin
+                  Queue.clear l.unsent;
+                  l.unacked <- [];
+                  if not l.peer_fin then
+                    l.dead <-
+                      Some
+                        (Printf.sprintf "no ack for seq %d from v%d after %d transmissions"
+                           (frame_seq oldest) l.peer l.tries)
+                end
+                else begin
+                  let window = !budget in
+                  List.iteri
+                    (fun i f ->
+                      if i < window then begin
+                        S.send l.port f;
+                        S.note_retransmit ();
+                        decr budget
+                      end)
+                    l.unacked;
+                  l.tries <- l.tries + 1;
+                  l.last_tx <- now
+                end
+              end);
+            if l.dead = None then begin
+              let was_empty = l.unacked = [] in
+              while !budget > 0 && not (Queue.is_empty l.unsent) do
+                let f = Queue.pop l.unsent in
+                S.send l.port f;
+                l.unacked <- l.unacked @ [ f ];
+                decr budget
+              done;
+              if was_empty && l.unacked <> [] then begin
+                l.tries <- 1;
+                l.last_tx <- now
+              end
+            end
+          end)
+        ep.links
+    end
+
+  let blocking ep l = l.dead = None && not l.peer_fin && l.peer_eor <= ep.vr
+  let can_advance ep = not (Array.exists (blocking ep) ep.links)
+
+  let next_deadline ep ~wait_start =
+    let dl =
+      Array.fold_left
+        (fun acc l ->
+          if l.dead <> None || l.unacked = [] then acc
+          else min acc (l.last_tx + timeout_of ep l))
+        max_int ep.links
+    in
+    let dl =
+      (* frames enqueued after this round's pump already ran must get a
+         pump next round, or they (and everyone waiting on them) stall *)
+      if
+        Array.exists
+          (fun l -> l.dead = None && not (Queue.is_empty l.unsent))
+          ep.links
+      then min dl (S.round () + 1)
+      else dl
+    in
+    if Array.exists (blocking ep) ep.links then
+      min dl (max wait_start (S.round ()) + ep.patience + 1)
+    else dl
+
+  let check_patience ep ~wait_start =
+    let now = S.round () in
+    Array.iter
+      (fun l ->
+        if
+          blocking ep l && l.unacked = []
+          && now - max wait_start l.last_heard > ep.patience
+        then
+          l.dead <-
+            Some
+              (Printf.sprintf
+                 "no end-of-round %d from v%d for %d rounds (crashed?)" ep.vr
+                 l.peer (now - max wait_start l.last_heard)))
+      ep.links
+
+  (* finish virtual round [ep.vr], wait out the synchronizer, enter the next
+     round and return the data delivered for it (in port order) *)
+  let advance_one ep =
+    Array.iter (fun l -> enqueue_frame l (fun seq -> Eor { seq; vr = ep.vr })) ep.links;
+    let wait_start = S.round () in
+    let rec drive () =
+      if not (can_advance ep) then begin
+        pump ep;
+        check_patience ep ~wait_start;
+        if not (can_advance ep) then begin
+          let dl = next_deadline ep ~wait_start in
+          let inbox = if dl = max_int then S.wait () else S.wait_until dl in
+          List.iter (process ep) inbox;
+          drive ()
+        end
+      end
+    in
+    drive ();
+    ep.vr <- ep.vr + 1;
+    let delivered = ref [] in
+    Array.iter
+      (fun l ->
+        l.sent_this_vr <- 0;
+        let continue = ref true in
+        while !continue do
+          match Queue.peek_opt l.indata with
+          | Some (v, body) when v < ep.vr ->
+            ignore (Queue.pop l.indata);
+            delivered := (l.port, body) :: !delivered
+          | _ -> continue := false
+        done)
+      ep.links;
+    List.rev !delivered
+
+  let transport_words ep =
+    Array.fold_left
+      (fun acc l ->
+        let qf acc f = acc + F.words f in
+        let a = Queue.fold qf 0 l.unsent in
+        let b = List.fold_left qf a l.unacked in
+        let c = Hashtbl.fold (fun _ f acc -> qf acc f) l.ooo b in
+        let d = Queue.fold (fun acc (_, body) -> acc + 1 + M.words body) c l.indata in
+        acc + d + 6)
+      0 ep.links
+
+  let all_inert ep =
+    not (Array.exists (fun l -> l.dead = None && not l.peer_fin) ep.links)
+
+  let rel_send ep p m =
+    if p < 0 || p >= Array.length ep.links then
+      invalid_arg
+        (Printf.sprintf "Reliable.send: vertex %d has no port %d" ep.me p);
+    let l = ep.links.(p) in
+    if l.sent_this_vr >= ep.data_cap then
+      raise (Sim.Congestion { vertex = ep.me; port = p; round = ep.vr });
+    l.sent_this_vr <- l.sent_this_vr + 1;
+    let words = M.words m in
+    if words > ep.data_words then
+      raise (Sim.Message_too_large { vertex = ep.me; words; round = ep.vr });
+    enqueue_frame l (fun seq -> Data { seq; body = m })
+
+  let rel_wait ep =
+    let rec go () =
+      let d = advance_one ep in
+      if d <> [] then d
+      else if all_inert ep then begin
+        (* nothing can ever arrive: park on the simulator so the run is
+           reported as deadlocked rather than spinning forever *)
+        ignore (S.wait ());
+        go ()
+      end
+      else go ()
+    in
+    go ()
+
+  let rel_sleep_until ep r =
+    if r <= ep.vr then advance_one ep
+    else begin
+      let acc = ref [] in
+      while ep.vr < r do
+        acc := !acc @ advance_one ep
+      done;
+      !acc
+    end
+
+  let rel_wait_until ep r =
+    let rec go () =
+      let d = advance_one ep in
+      if d <> [] || ep.vr >= r then d else go ()
+    in
+    go ()
+
+  let make_ops ep =
+    {
+      send = rel_send ep;
+      sync = (fun () -> advance_one ep);
+      wait = (fun () -> rel_wait ep);
+      sleep_until = rel_sleep_until ep;
+      wait_until = rel_wait_until ep;
+      round = (fun () -> ep.vr);
+      real_round = (fun () -> S.round ());
+      set_memory = (fun w -> S.set_memory (w + transport_words ep));
+      add_memory = (fun d -> S.add_memory d);
+      dead_ports =
+        (fun () ->
+          Array.to_list ep.links
+          |> List.filter_map (fun l ->
+                 match l.dead with Some why -> Some (l.port, why) | None -> None));
+    }
+
+  (* after the program returns: tell every live peer we are done and stick
+     around until the notice is acknowledged (or the peer is itself gone) *)
+  let close ep =
+    Array.iter (fun l -> enqueue_frame l (fun seq -> Fin { seq })) ep.links;
+    let settled l =
+      l.dead <> None || l.peer_fin
+      || (Queue.is_empty l.unsent && l.unacked = [])
+    in
+    let rec drive () =
+      if not (Array.for_all settled ep.links) then begin
+        pump ep;
+        (* pump may just have declared a link dead: recheck before waiting,
+           or we would sleep forever on a now-settled state *)
+        if not (Array.for_all settled ep.links) then begin
+          let dl = next_deadline ep ~wait_start:(S.round ()) in
+          let inbox = if dl = max_int then S.wait () else S.wait_until dl in
+          List.iter (process ep) inbox
+        end;
+        drive ()
+      end
+      else begin
+        (* flush final acks so peers' own Fins settle promptly; if this
+           round's pump already ran, spend one more round to get them out *)
+        pump ep;
+        if Array.exists (fun l -> l.ack_due) ep.links then begin
+          ignore (S.sync ());
+          pump ep
+        end
+      end
+    in
+    drive ()
+
+  let run ?max_rounds ?(edge_capacity = 1) ?(word_limit = 8) ?faults
+      ?(config = default_config) g ~node =
+    if config.ack_timeout < 1 || config.backoff < 1 || config.max_retries < 1 then
+      invalid_arg "Reliable.run: config fields must be >= 1";
+    let burst = edge_capacity + 1 in
+    S.run ?max_rounds
+      ~edge_capacity:(burst + 1) (* stream burst + one ack per real round *)
+      ~word_limit:(word_limit + 2) (* frame header: tag + seq *)
+      ?faults g
+      ~node:(fun (sctx : S.ctx) ->
+        let ep = make_ep config ~data_cap:edge_capacity ~word_limit sctx in
+        let rctx =
+          {
+            me = sctx.S.me;
+            n = sctx.S.n;
+            neighbors = sctx.S.neighbors;
+            weights = sctx.S.weights;
+          }
+        in
+        node (make_ops ep) rctx;
+        close ep)
+end

@@ -1,0 +1,89 @@
+(** Reliable, round-preserving transport over the faulty simulator.
+
+    {!Make} wraps {!Sim.Make} with a per-link ack/retransmit stream (sequence
+    numbers, cumulative acks, [wait_until]-driven timeouts with exponential
+    backoff) underneath an alpha-synchronizer: every vertex closes each of its
+    {e virtual} rounds with an end-of-round marker on every live link and only
+    advances once it holds the matching marker from every live neighbour.
+
+    The payoff is that a protocol written against {!Make.ops} observes, in
+    virtual rounds, exactly the synchronous semantics of the raw simulator —
+    same inboxes, same port order, same round arithmetic — even while the
+    underlying network drops, duplicates, delays and reorders frames. As long
+    as no link is declared dead, a computation over this layer is
+    bit-identical to its fault-free run; only the real-round count and the
+    message/retransmission metrics differ.
+
+    Failure detection: a link is declared {e dead} (with a reason) when the
+    oldest unacknowledged frame exhausts [max_retries] transmissions, or when
+    a peer withholds its end-of-round marker past a patience window while
+    acking everything (a vertex that crash-stopped between acking and
+    marking). Dead links are abandoned; the protocol polls [dead_ports] and
+    decides how to degrade — the transport itself never deadlocks on a dead
+    peer. A vertex whose program returns sends a final close notice so that
+    peers treat its silence as graceful, not as failure. *)
+
+type config = {
+  ack_timeout : int;  (** real rounds before the first retransmission *)
+  backoff : int;  (** timeout multiplier per retry (exponential backoff) *)
+  max_retries : int;  (** transmissions before the link is declared dead *)
+}
+
+val default_config : config
+(** [{ ack_timeout = 4; backoff = 2; max_retries = 8 }]. *)
+
+module Make (M : Sim.MESSAGE) : sig
+  type ctx = {
+    me : int;
+    n : int;
+    neighbors : int array;  (** port -> neighbour id *)
+    weights : float array;
+  }
+
+  type inbox = (int * M.t) list
+  (** [(port, payload)] pairs, in port order, oldest round first. *)
+
+  (** The simulator's vertex operations, re-exposed in virtual-round terms.
+      [send]/[sync]/[wait]/[sleep_until]/[wait_until]/[round] have exactly the
+      semantics of their {!Sim.Make} counterparts, with "round" meaning
+      virtual round; a protocol body abstracted over this record runs
+      unchanged on either transport. *)
+  type ops = {
+    send : int -> M.t -> unit;
+        (** Reliable in-order delivery next virtual round. Raises
+            {!Sim.Congestion} beyond [edge_capacity] sends to one port in one
+            virtual round, {!Sim.Message_too_large} beyond [word_limit] — the
+            protocol-level CONGEST limits stay enforced even though the
+            transport's own frames ride on a wider physical budget. *)
+    sync : unit -> inbox;
+    wait : unit -> inbox;
+    sleep_until : int -> inbox;
+    wait_until : int -> inbox;
+    round : unit -> int;  (** current virtual round *)
+    real_round : unit -> int;  (** underlying simulator round, for diagnosis *)
+    set_memory : int -> unit;
+        (** Declares [w + transport buffers] words — retransmission queues are
+            honestly charged to the vertex's memory ledger. *)
+    add_memory : int -> unit;
+    dead_ports : unit -> (int * string) list;
+        (** Ports whose link was declared dead, with reasons. Empty in any
+            run the transport fully masked. *)
+  }
+
+  val run :
+    ?max_rounds:int ->
+    ?edge_capacity:int ->
+    ?word_limit:int ->
+    ?faults:Fault.t ->
+    ?config:config ->
+    Dgraph.Graph.t ->
+    node:(ops -> ctx -> unit) ->
+    Sim.report
+  (** Run a protocol over the reliable transport. [edge_capacity] and
+      [word_limit] are the {e protocol-level} CONGEST limits enforced on
+      [ops.send]; the underlying simulator runs with a constant-factor wider
+      budget ([edge_capacity + 2] frames of [word_limit + 2] words) to carry
+      stream headers, end-of-round markers and acks. [max_rounds] bounds
+      {e real} rounds. Metrics count real rounds/messages plus the transport's
+      retransmissions. *)
+end

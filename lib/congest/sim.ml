@@ -7,6 +7,33 @@ end
 exception Congestion of { vertex : int; port : int; round : int }
 exception Message_too_large of { vertex : int; words : int; round : int }
 
+type wake = Now | On_message | At of int | Msg_or_at of int
+
+let pp_wake ppf = function
+  | Now -> Format.pp_print_string ppf "sync"
+  | On_message -> Format.pp_print_string ppf "wait"
+  | At r -> Format.fprintf ppf "sleep_until %d" r
+  | Msg_or_at r -> Format.fprintf ppf "wait_until %d" r
+
+type deadlock = { total : int; stuck : (int * wake) list }
+type outcome = Completed | Deadlocked of deadlock | Round_limit
+type report = { outcome : outcome; metrics : Metrics.t }
+
+let pp_outcome ppf = function
+  | Completed -> Format.pp_print_string ppf "completed"
+  | Round_limit -> Format.pp_print_string ppf "round limit exceeded"
+  | Deadlocked d ->
+    Format.fprintf ppf "deadlocked: %d vertices stuck" d.total;
+    if d.total > List.length d.stuck then
+      Format.fprintf ppf " (showing %d)" (List.length d.stuck);
+    Format.pp_print_string ppf " [";
+    List.iteri
+      (fun i (v, w) ->
+        if i > 0 then Format.pp_print_string ppf "; ";
+        Format.fprintf ppf "v%d: %a" v pp_wake w)
+      d.stuck;
+    Format.pp_print_string ppf "]"
+
 module Make (M : MESSAGE) = struct
   type ctx = {
     me : int;
@@ -26,6 +53,7 @@ module Make (M : MESSAGE) = struct
     | Round : int Effect.t
     | Set_memory : int -> unit Effect.t
     | Add_memory : int -> unit Effect.t
+    | Note_retransmit : unit Effect.t
 
   let send p m = Effect.perform (Send (p, m))
   let sync () = Effect.perform Sync
@@ -35,13 +63,13 @@ module Make (M : MESSAGE) = struct
   let round () = Effect.perform Round
   let set_memory w = Effect.perform (Set_memory w)
   let add_memory d = Effect.perform (Add_memory d)
-
-  type wake = Now | On_message | At of int | Msg_or_at of int
+  let note_retransmit () = Effect.perform Note_retransmit
 
   type node_state = {
     id : int;
     mutable cont : (inbox, unit) Effect.Deep.continuation option;
     mutable started : bool;
+    mutable crashed : bool;
     mutable wake : wake;
     mutable rev_buf : (int * M.t) list;
     mutable mem_words : int;
@@ -49,11 +77,8 @@ module Make (M : MESSAGE) = struct
     sent_stamp : int array;
   }
 
-  type outcome = Completed | Deadlocked of int list | Round_limit
-  type report = { outcome : outcome; metrics : Metrics.t }
-
-  let run ?(max_rounds = 50_000_000) ?(edge_capacity = 1) ?(word_limit = 8) g
-      ~node =
+  let run ?(max_rounds = 50_000_000) ?(edge_capacity = 1) ?(word_limit = 8)
+      ?faults g ~node =
     let open Dgraph in
     let n = Graph.n g in
     let metrics = Metrics.create ~n in
@@ -61,17 +86,26 @@ module Make (M : MESSAGE) = struct
     (* pending.(v) collects (port at v, msg) to be delivered next round *)
     let pending = Array.make n [] in
     let touched = ref [] in
+    (* messages the fault plan deferred: (landing round, dest, port, msg);
+       a message landing in round r becomes readable in round r+1, exactly
+       like a normal send performed in round r *)
+    let delayed = ref [] in
     (* Port translation: edge (v via port p) arrives at u on port rev.(v).(p) *)
     let port_of = Hashtbl.create (4 * Graph.m g) in
     for u = 0 to n - 1 do
       Array.iteri (fun q (x, _) -> Hashtbl.replace port_of (u, x) q) (Graph.neighbors g u)
     done;
+    let crash_at =
+      Array.init n (fun v ->
+          match faults with None -> None | Some f -> Fault.crash_round f v)
+    in
     let states =
       Array.init n (fun v ->
           {
             id = v;
             cont = None;
             started = false;
+            crashed = false;
             wake = Now;
             rev_buf = [];
             mem_words = 0;
@@ -80,6 +114,27 @@ module Make (M : MESSAGE) = struct
           })
     in
     let current = ref states.(0) in
+    let apply_crashes r =
+      Array.iter
+        (fun st ->
+          match crash_at.(st.id) with
+          | Some cr when cr <= r && not st.crashed ->
+            st.crashed <- true;
+            st.started <- true;
+            st.cont <- None;
+            (* everything queued for the dead vertex is lost *)
+            metrics.Metrics.dropped <-
+              metrics.Metrics.dropped + List.length st.rev_buf
+              + List.length pending.(st.id);
+            st.rev_buf <- [];
+            pending.(st.id) <- []
+          | _ -> ())
+        states
+    in
+    let enqueue u q m =
+      if pending.(u) = [] then touched := u :: !touched;
+      pending.(u) <- (q, m) :: pending.(u)
+    in
     let do_send st p m =
       let deg = Array.length st.sent_count in
       if p < 0 || p >= deg then
@@ -105,8 +160,24 @@ module Make (M : MESSAGE) = struct
         | Some q -> q
         | None -> assert false
       in
-      if pending.(u) = [] then touched := u :: !touched;
-      pending.(u) <- (q, m) :: pending.(u)
+      (* fault injection sits strictly after the capacity and word-limit
+         accounting: the sender is charged for the send whatever the network
+         then does to it *)
+      match faults with
+      | None -> enqueue u q m
+      | Some _ when states.(u).crashed ->
+        metrics.Metrics.dropped <- metrics.Metrics.dropped + 1
+      | Some f -> (
+        match Fault.classify f ~round:!cur_round ~src:st.id ~dst:u with
+        | Fault.Deliver -> enqueue u q m
+        | Fault.Drop -> metrics.Metrics.dropped <- metrics.Metrics.dropped + 1
+        | Fault.Duplicate ->
+          metrics.Metrics.duplicated <- metrics.Metrics.duplicated + 1;
+          enqueue u q m;
+          enqueue u q m
+        | Fault.Delay d ->
+          metrics.Metrics.delayed <- metrics.Metrics.delayed + 1;
+          delayed := (!cur_round + d, u, q, m) :: !delayed)
     in
     let handler (st : node_state) :
         (unit, unit) Effect.Deep.handler =
@@ -156,6 +227,12 @@ module Make (M : MESSAGE) = struct
                   st.mem_words <- max 0 (st.mem_words + d);
                   Metrics.note_memory metrics st.id st.mem_words;
                   Effect.Deep.continue k ())
+            | Note_retransmit ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  metrics.Metrics.retransmitted <-
+                    metrics.Metrics.retransmitted + 1;
+                  Effect.Deep.continue k ())
             | _ -> None);
       }
     in
@@ -193,12 +270,36 @@ module Make (M : MESSAGE) = struct
         (fun u ->
           let batch = List.sort (fun (p, _) (q, _) -> compare p q) pending.(u) in
           pending.(u) <- [];
-          st_append states.(u) batch)
+          if states.(u).crashed then
+            metrics.Metrics.dropped <- metrics.Metrics.dropped + List.length batch
+          else st_append states.(u) batch)
         !touched;
       touched := []
     in
-    (* Round 0: start every program. *)
-    Array.iter start states;
+    (* move fault-delayed messages that landed in an already-executed round
+       into their destination's buffer (readable from round [r] on) *)
+    let flush_delayed r =
+      if !delayed <> [] then begin
+        let due, still = List.partition (fun (land_, _, _, _) -> land_ < r) !delayed in
+        delayed := still;
+        if due <> [] then begin
+          let batch =
+            List.sort
+              (fun (l1, u1, p1, _) (l2, u2, p2, _) -> compare (l1, u1, p1) (l2, u2, p2))
+              due
+          in
+          List.iter
+            (fun (_, u, q, m) ->
+              if states.(u).crashed then
+                metrics.Metrics.dropped <- metrics.Metrics.dropped + 1
+              else st_append states.(u) [ (q, m) ])
+            batch
+        end
+      end
+    in
+    (* Round 0: start every program (crash-at-0 vertices never run). *)
+    apply_crashes 0;
+    Array.iter (fun st -> if not st.crashed then start st) states;
     deliver ();
     let finished st = st.cont = None && st.started in
     let runnable st r =
@@ -214,6 +315,8 @@ module Make (M : MESSAGE) = struct
       let r = !cur_round + 1 in
       if r > max_rounds then { outcome = Round_limit; metrics }
       else begin
+        apply_crashes r;
+        flush_delayed r;
         (* Find runnable nodes, possibly fast-forwarding over silent rounds. *)
         let any_runnable = ref false and all_done = ref true in
         let min_at = ref max_int in
@@ -222,31 +325,42 @@ module Make (M : MESSAGE) = struct
             if not (finished st) then begin
               all_done := false;
               if runnable st r then any_runnable := true
-              else
-                match st.wake with
+              else begin
+                (match st.wake with
                 | (At r' | Msg_or_at r') when st.cont <> None ->
                   min_at := min !min_at r'
-                | _ -> ()
+                | _ -> ());
+                match crash_at.(st.id) with
+                | Some cr -> min_at := min !min_at cr
+                | None -> ()
+              end
             end)
           states;
+        (* in-flight delayed messages can wake sleepers one round after they
+           land: never fast-forward (or deadlock) past them *)
+        List.iter
+          (fun (land_, u, _, _) ->
+            if not (finished states.(u)) then min_at := min !min_at (land_ + 1))
+          !delayed;
         if !all_done then begin
           metrics.Metrics.rounds <- !cur_round;
           { outcome = Completed; metrics }
         end
         else if not !any_runnable then begin
           if !min_at < max_int then begin
-            cur_round := !min_at - 1;
+            cur_round := max !cur_round (!min_at - 1);
             loop ()
           end
           else begin
             let stuck =
               Array.to_list states
               |> List.filter (fun st -> not (finished st))
-              |> List.map (fun st -> st.id)
+              |> List.map (fun st -> (st.id, st.wake))
             in
             metrics.Metrics.rounds <- !cur_round;
             let sample = List.filteri (fun i _ -> i < 10) stuck in
-            { outcome = Deadlocked sample; metrics }
+            { outcome = Deadlocked { total = List.length stuck; stuck = sample };
+              metrics }
           end
         end
         else begin

@@ -16,7 +16,13 @@
 
     The scheduler only wakes vertices that can make progress ([wait]ing
     vertices sleep until a message arrives), so protocols with long quiet
-    phases simulate in time proportional to events, not rounds × n. *)
+    phases simulate in time proportional to events, not rounds × n.
+
+    Runs may execute under a {!Fault} plan ([?faults]): messages are then
+    dropped, duplicated or delayed and vertices crash-stop according to the
+    plan, *after* all capacity/word accounting, with every injected event
+    counted in {!Metrics}. The raw simulator makes no recovery attempt — a
+    protocol that needs to survive faults runs over {!Reliable}. *)
 
 module type MESSAGE = sig
   type t
@@ -30,6 +36,36 @@ exception Congestion of { vertex : int; port : int; round : int }
     through one port in one round. *)
 
 exception Message_too_large of { vertex : int; words : int; round : int }
+
+(** {1 Outcomes}
+
+    These types are shared by every instantiation of {!Make} (and by
+    {!Reliable}), so callers can pattern-match without knowing which message
+    functor produced the report. *)
+
+type wake = Now | On_message | At of int | Msg_or_at of int
+(** What a suspended vertex is waiting for: [Now] = next round ([sync]),
+    [On_message] = any message ([wait]), [At r] = round [r] ([sleep_until]),
+    [Msg_or_at r] = whichever comes first ([wait_until]). *)
+
+type deadlock = {
+  total : int;  (** how many vertices are stuck in all *)
+  stuck : (int * wake) list;  (** sample of ≤ 10 (vertex, wake state) *)
+}
+
+type outcome =
+  | Completed  (** every vertex program returned (or crash-stopped) *)
+  | Deadlocked of deadlock  (** some vertices wait forever *)
+  | Round_limit
+
+type report = { outcome : outcome; metrics : Metrics.t }
+
+val pp_wake : Format.formatter -> wake -> unit
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** Debug pretty-printer; for deadlocks it prints the total stuck count and
+    each sampled vertex with its wake state, e.g.
+    ["deadlocked: 42 vertices stuck (showing 10) [v3: wait; v7: wait_until 120; ...]"]. *)
 
 module Make (M : MESSAGE) : sig
   type ctx = {
@@ -72,22 +108,23 @@ module Make (M : MESSAGE) : sig
   val add_memory : int -> unit
   (** Adjust the declared size by a (possibly negative) delta. *)
 
+  val note_retransmit : unit -> unit
+  (** Count one retransmission in the run's metrics — used by the
+      {!Reliable} transport; the retransmitted message itself is still sent
+      (and charged) through [send]. *)
+
   (** {1 Running} *)
-
-  type outcome =
-    | Completed  (** every vertex program returned *)
-    | Deadlocked of int list  (** some vertices wait forever (sample of ids) *)
-    | Round_limit
-
-  type report = { outcome : outcome; metrics : Metrics.t }
 
   val run :
     ?max_rounds:int ->
     ?edge_capacity:int ->
     ?word_limit:int ->
+    ?faults:Fault.t ->
     Dgraph.Graph.t ->
     node:(ctx -> unit) ->
     report
   (** Execute the protocol on every vertex of the graph. Deterministic:
-      vertices are scheduled in id order and inboxes are sorted. *)
+      vertices are scheduled in id order and inboxes are sorted; under a
+      [?faults] plan the injected faults are a deterministic function of the
+      plan's spec (pass a freshly {!Fault.make}d plan — plans are stateful). *)
 end

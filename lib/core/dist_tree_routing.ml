@@ -52,6 +52,19 @@ module M = struct
 end
 
 module S = Congest.Sim.Make (M)
+module R = Congest.Reliable.Make (M)
+
+(* The node program is written against this record so the same protocol body
+   runs bit-identically on the raw synchronous simulator and on the reliable
+   transport's virtual rounds. *)
+type ops = {
+  op_send : int -> msg -> unit;
+  op_wait : unit -> (int * msg) list;
+  op_wait_until : int -> (int * msg) list;
+  op_round : unit -> int;
+  op_set_memory : int -> unit;
+  op_dead_ports : unit -> (int * string) list;
+}
 
 type outcome = {
   scheme : Tz.Tree_routing.scheme;
@@ -84,8 +97,12 @@ type action =
   | A_alg6_end of int
   | A_shift
   | A_finish
+  | A_params_check
 
-let run ~rng ?q ?(stagger = true) g ~tree =
+let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config g ~tree =
+  let use_reliable =
+    match reliable with Some b -> b | None -> Option.is_some faults
+  in
   let n = Graph.n g in
   let qprob = match q with Some q -> q | None -> 1.0 /. sqrt (float_of_int n) in
   let root = Tree.root tree in
@@ -115,9 +132,8 @@ let run ~rng ?q ?(stagger = true) g ~tree =
   let fail v s = failures := Printf.sprintf "v%d: %s" v s :: !failures in
   let u_count_out = ref 1 and dz_out = ref 0 in
 
-  let node (ctx : S.ctx) =
-    let me = ctx.me in
-    let deg = Array.length ctx.neighbors in
+  let node (o : ops) ~me ~(neighbors : int array) =
+    let deg = Array.length neighbors in
     let is_root = me = root in
     let my_tree = in_tree.(me) in
     let my_u = in_u.(me) in
@@ -193,22 +209,22 @@ let run ~rng ?q ?(stagger = true) g ~tree =
         + (2 * List.length !lights)
         + (2 * !collect3_len)
       in
-      S.set_memory words
+      o.op_set_memory words
     in
-    let send_all m = for p = 0 to deg - 1 do S.send p m done in
+    let send_all m = for p = 0 to deg - 1 do o.op_send p m done in
     (* tree-downward: every port except the tree parent *)
     let send_down m =
       for p = 0 to deg - 1 do
-        if p <> tp_port.(me) then S.send p m
+        if p <> tp_port.(me) then o.op_send p m
       done
     in
     (* bfs-downward: every port except the bfs parent *)
     let bc_send_down m =
       for p = 0 to deg - 1 do
-        if p <> !bfs_parent_port then S.send p m
+        if p <> !bfs_parent_port then o.op_send p m
       done
     in
-    let send_parent m = S.send tp_port.(me) m in
+    let send_parent m = o.op_send tp_port.(me) m in
     let handle_payload pl =
       if local_root_flag then begin
         match pl with
@@ -265,7 +281,7 @@ let run ~rng ?q ?(stagger = true) g ~tree =
         (* local roots already reported via Size_to_parent at A_size_up *)
         if (not is_root) && not my_u then
           send_parent (Global_size { s = !my_global_s; id = me });
-        if !heavy_port >= 0 then S.send !heavy_port You_are_heavy
+        if !heavy_port >= 0 then o.op_send !heavy_port You_are_heavy
       end
     in
     let build_schedule () =
@@ -319,7 +335,7 @@ let run ~rng ?q ?(stagger = true) g ~tree =
         if is_u then incr virtual_children else incr local_children
       | Hello2 ->
         incr assign_counter;
-        S.send port (Index { j = !assign_counter; pid = me })
+        o.op_send port (Index { j = !assign_counter; pid = me })
       | Index { j; pid } ->
         if port = tp_port.(me) then begin
           my_index := j;
@@ -329,11 +345,11 @@ let run ~rng ?q ?(stagger = true) g ~tree =
         if !bfs_parent_port < 0 && not is_root then begin
           bfs_parent_port := port;
           bfs_depth := depth + 1;
-          S.send port Bfs_adopt;
+          o.op_send port Bfs_adopt;
           for p = 0 to deg - 1 do
-            if p <> port then S.send p (Bfs { depth = !bfs_depth })
+            if p <> port then o.op_send p (Bfs { depth = !bfs_depth })
           done;
-          schedule (S.round () + 3) A_bfs_echo_check
+          schedule (o.op_round () + 3) A_bfs_echo_check
         end
       | Bfs_adopt -> incr bfs_children
       | Bfs_echo { maxd; ucount } ->
@@ -345,7 +361,7 @@ let run ~rng ?q ?(stagger = true) g ~tree =
           if is_root then begin
             dz := !echo_maxd;
             usize := !echo_ucount + 1;
-            t0 := S.round () + !dz + 4;
+            t0 := o.op_round () + !dz + 4;
             params_known := true;
             u_count_out := !usize;
             dz_out := !dz;
@@ -353,7 +369,7 @@ let run ~rng ?q ?(stagger = true) g ~tree =
             build_schedule ()
           end
           else
-            S.send !bfs_parent_port
+            o.op_send !bfs_parent_port
               (Bfs_echo
                  { maxd = max !echo_maxd !bfs_depth; ucount = !echo_ucount + my_bit })
         end
@@ -424,12 +440,12 @@ let run ~rng ?q ?(stagger = true) g ~tree =
           Queue.add Final_end streamq
         end
       | Prefix { j; flag; s; width } ->
-        if !prefix_scan_round <> S.round () then begin
-          prefix_scan_round := S.round ();
+        if !prefix_scan_round <> o.op_round () then begin
+          prefix_scan_round := o.op_round ();
           scan_j := -1
         end;
         if !scan_j >= 0 && j > !scan_j && j <= !scan_j + width then
-          S.send port (Prefix_add { s = !scan_s });
+          o.op_send port (Prefix_add { s = !scan_s });
         if flag then begin
           scan_j := j;
           scan_s := s
@@ -462,7 +478,7 @@ let run ~rng ?q ?(stagger = true) g ~tree =
       | A_bfs_start ->
         if is_root then begin
           send_all (Bfs { depth = 0 });
-          schedule (S.round () + 3) A_bfs_echo_check
+          schedule (o.op_round () + 3) A_bfs_echo_check
         end
       | A_bfs_echo_check ->
         if !bfs_children = 0 then begin
@@ -471,11 +487,11 @@ let run ~rng ?q ?(stagger = true) g ~tree =
             (* no neighbours at all: degenerate single-vertex network *)
             dz := 0;
             usize := 1;
-            t0 := S.round () + 4;
+            t0 := o.op_round () + 4;
             params_known := true;
             build_schedule ()
           end
-          else S.send !bfs_parent_port (Bfs_echo { maxd = !bfs_depth; ucount = my_bit })
+          else o.op_send !bfs_parent_port (Bfs_echo { maxd = !bfs_depth; ucount = my_bit })
         end
       | A_start_waves ->
         if local_root_flag then send_down (Local_root { w = me });
@@ -491,7 +507,7 @@ let run ~rng ?q ?(stagger = true) g ~tree =
         a_next := -1;
         if local_root_flag then begin
           let pl = P_size { origin = me; anc = ancestors.(i); s = !s_cur; iter = i } in
-          schedule (S.round () + stagger_window (2 * !usize)) (A_insert [ pl ])
+          schedule (o.op_round () + stagger_window (2 * !usize)) (A_insert [ pl ])
         end
       | A_alg1_end i ->
         if local_root_flag then begin
@@ -523,7 +539,7 @@ let run ~rng ?q ?(stagger = true) g ~tree =
             items @ [ P_light_end { origin = me; count = List.length !lights; iter = i } ]
           in
           schedule
-            (S.round () + stagger_window (2 * !usize * (llog + 2)))
+            (o.op_round () + stagger_window (2 * !usize * (llog + 2)))
             (A_insert pls)
         end
       | A_alg3_end i ->
@@ -560,7 +576,7 @@ let run ~rng ?q ?(stagger = true) g ~tree =
         q_add := 0;
         if local_root_flag then begin
           let pl = P_shift { origin = me; q = !q_cur; iter = i } in
-          schedule (S.round () + stagger_window (2 * !usize)) (A_insert [ pl ])
+          schedule (o.op_round () + stagger_window (2 * !usize)) (A_insert [ pl ])
         end
       | A_alg6_end i ->
         if local_root_flag then begin
@@ -573,6 +589,15 @@ let run ~rng ?q ?(stagger = true) g ~tree =
           final_entry := !range_a + !q_cur;
           final_exit := !range_b + !q_cur;
           send_down (Shift { q = !q_cur })
+        end
+      | A_params_check ->
+        (* self-healing watchdog: if the setup flood never reached us (root
+           crashed, network cut), give up with a reason instead of waiting
+           forever *)
+        if not !params_known then begin
+          fail me
+            (Printf.sprintf "setup timed out: no Params by round %d" (o.op_round ()));
+          finished := true
         end
       | A_finish ->
         if my_tree then begin
@@ -592,35 +617,55 @@ let run ~rng ?q ?(stagger = true) g ~tree =
         finished := true
     in
     let relay () =
-      let r = S.round () in
+      let r = o.op_round () in
       if !last_relay < r then begin
         last_relay := r;
         if not (Queue.is_empty upq) then begin
           let pl = Queue.pop upq in
-          if is_root then turnaround pl else S.send !bfs_parent_port (Bc_up pl)
+          if is_root then turnaround pl else o.op_send !bfs_parent_port (Bc_up pl)
         end;
         if not (Queue.is_empty downq) then bc_send_down (Bc_down (Queue.pop downq));
         if not (Queue.is_empty streamq) then send_down (Queue.pop streamq)
       end
     in
+    let dead_seen = ref [] in
+    let check_dead () =
+      List.iter
+        (fun (p, why) ->
+          if not (List.mem p !dead_seen) then begin
+            dead_seen := p :: !dead_seen;
+            fail me (Printf.sprintf "link to v%d lost: %s" neighbors.(p) why);
+            if p = tp_port.(me) then begin
+              fail me "tree parent unreachable: aborting";
+              finished := true
+            end
+            else if p = !bfs_parent_port then begin
+              fail me "bfs parent unreachable: aborting";
+              finished := true
+            end
+          end)
+        (o.op_dead_ports ())
+    in
     (* round 0: children announce; schedule fixed early actions *)
     if my_tree && not is_root then send_parent (Hello { is_u = my_u });
     schedule 1 A_hello2;
     schedule 4 A_bfs_start;
+    schedule ((4 * n) + 64) A_params_check;
     update_mem ();
     let next_deadline () =
       let a = match !agenda with [] -> max_int | (r, _) :: _ -> r in
       if Queue.is_empty upq && Queue.is_empty downq && Queue.is_empty streamq then a
-      else min a (S.round () + 1)
+      else min a (o.op_round () + 1)
     in
     let rec loop () =
       if not !finished then begin
         let dl = next_deadline () in
-        let inbox = if dl = max_int then S.wait () else S.wait_until dl in
+        let inbox = if dl = max_int then o.op_wait () else o.op_wait_until dl in
         List.iter handle inbox;
+        check_dead ();
         let rec run_due () =
           match !agenda with
-          | (r, a) :: rest when r <= S.round () ->
+          | (r, a) :: rest when r <= o.op_round () ->
             agenda := rest;
             run_action a;
             run_due ()
@@ -634,18 +679,42 @@ let run ~rng ?q ?(stagger = true) g ~tree =
     in
     loop ()
   in
-  let report = S.run ~edge_capacity:2 g ~node in
-  (match report.S.outcome with
-  | S.Completed -> ()
-  | S.Deadlocked vs ->
-    failures :=
-      Printf.sprintf "deadlock at %s"
-        (String.concat "," (List.map string_of_int vs))
-      :: !failures
-  | S.Round_limit -> failures := "round limit exceeded" :: !failures);
+  let report =
+    if use_reliable then
+      R.run ~edge_capacity:2 ?faults ?config g ~node:(fun (rops : R.ops) rctx ->
+          let o =
+            {
+              op_send = rops.R.send;
+              op_wait = rops.R.wait;
+              op_wait_until = rops.R.wait_until;
+              op_round = rops.R.round;
+              op_set_memory = rops.R.set_memory;
+              op_dead_ports = rops.R.dead_ports;
+            }
+          in
+          node o ~me:rctx.R.me ~neighbors:rctx.R.neighbors)
+    else
+      S.run ~edge_capacity:2 ?faults g ~node:(fun (sctx : S.ctx) ->
+          let o =
+            {
+              op_send = S.send;
+              op_wait = S.wait;
+              op_wait_until = S.wait_until;
+              op_round = S.round;
+              op_set_memory = S.set_memory;
+              op_dead_ports = (fun () -> []);
+            }
+          in
+          node o ~me:sctx.S.me ~neighbors:sctx.S.neighbors)
+  in
+  (match report.Congest.Sim.outcome with
+  | Congest.Sim.Completed -> ()
+  | Congest.Sim.Deadlocked _ as oc ->
+    failures := Format.asprintf "%a" Congest.Sim.pp_outcome oc :: !failures
+  | Congest.Sim.Round_limit -> failures := "round limit exceeded" :: !failures);
   {
     scheme = { Tz.Tree_routing.tree; tables; labels };
-    report = report.S.metrics;
+    report = report.Congest.Sim.metrics;
     u_count = !u_count_out;
     d_bfs = !dz_out;
     failures = !failures;

@@ -40,6 +40,9 @@ val run :
   rng:Random.State.t ->
   ?q:float ->
   ?stagger:bool ->
+  ?faults:Congest.Fault.t ->
+  ?reliable:bool ->
+  ?config:Congest.Reliable.config ->
   Dgraph.Graph.t ->
   tree:Dgraph.Tree.t ->
   outcome
@@ -52,6 +55,17 @@ val run :
     Lemma 2 trick: the protocol remains exact, but relay queues near the
     root grow to Θ(|U|) = Θ(√n) words — exactly the memory blow-up the
     staggering exists to prevent.
+
+    [faults] runs the protocol under a {!Congest.Fault} plan. [reliable]
+    (default: [true] iff a fault plan is given) runs the protocol over the
+    {!Congest.Reliable} transport instead of the raw simulator: random
+    drops/duplications/delays are then fully masked — the resulting [scheme]
+    is bit-identical to the fault-free run, at the cost of extra real rounds
+    and retransmissions (visible in [report]). Unmaskable faults (crashed
+    vertices, dead links) degrade gracefully: affected vertices abort with
+    per-vertex reasons in [failures], and the run terminates — it never
+    deadlocks waiting on a crashed peer. [config] tunes the transport's
+    retransmission timeouts.
 
     @raise Invalid_argument if the tree uses non-edges of the graph *)
 

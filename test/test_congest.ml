@@ -11,7 +11,9 @@ module Imsg = struct
   let words _ = 1
 end
 
+module CS = Congest.Sim
 module S = Congest.Sim.Make (Imsg)
+module R = Congest.Reliable.Make (Imsg)
 
 (* --- flood: every vertex learns the minimum id; rounds ~ eccentricity --- *)
 
@@ -40,13 +42,12 @@ let flood_protocol (ctx : S.ctx) =
 let test_flood () =
   let g = Gen.grid ~rng:(rng ()) ~rows:8 ~cols:8 () in
   let report = S.run g ~node:flood_protocol in
-  (match report.outcome with
-  | S.Completed -> ()
-  | S.Deadlocked vs ->
-    Alcotest.failf "deadlock at %s" (String.concat "," (List.map string_of_int vs))
-  | S.Round_limit -> Alcotest.fail "round limit");
+  (match report.CS.outcome with
+  | CS.Completed -> ()
+  | CS.Deadlocked _ as oc -> Alcotest.failf "%a" CS.pp_outcome oc
+  | CS.Round_limit -> Alcotest.fail "round limit");
   let d = Diameter.hop_diameter g in
-  let r = report.metrics.Congest.Metrics.rounds in
+  let r = report.CS.metrics.Congest.Metrics.rounds in
   Alcotest.(check bool)
     (Printf.sprintf "flood rounds %d within [D=%d, D+3]" r d)
     true
@@ -90,13 +91,13 @@ let convergecast_sum g root =
 let test_convergecast () =
   let g = Gen.random_tree ~rng:(rng ()) ~n:200 () in
   let report = convergecast_sum g 0 in
-  (match report.outcome with
-  | S.Completed -> ()
+  (match report.CS.outcome with
+  | CS.Completed -> ()
   | _ -> Alcotest.fail "convergecast did not complete");
   let tree = Tree.bfs_spanning g ~root:0 in
   Alcotest.(check bool)
     "rounds <= height + 1" true
-    (report.metrics.Congest.Metrics.rounds <= Tree.height tree + 1)
+    (report.CS.metrics.Congest.Metrics.rounds <= Tree.height tree + 1)
 
 (* --- timing: message sent in round r arrives in round r+1 --- *)
 
@@ -116,7 +117,7 @@ let test_delivery_timing () =
     end
   in
   let report = S.run g ~node in
-  (match report.outcome with S.Completed -> () | _ -> Alcotest.fail "incomplete");
+  (match report.CS.outcome with CS.Completed -> () | _ -> Alcotest.fail "incomplete");
   Alcotest.(check int) "arrival round" 4 !observed
 
 (* --- capacity: two messages through one port in one round must raise --- *)
@@ -153,8 +154,24 @@ let test_deadlock () =
   let g = Gen.ring ~rng:(rng ()) ~n:3 () in
   let node (_ : S.ctx) = ignore (S.wait ()) in
   let report = S.run g ~node in
-  match report.outcome with
-  | S.Deadlocked vs -> Alcotest.(check int) "all stuck" 3 (List.length vs)
+  match report.CS.outcome with
+  | CS.Deadlocked d ->
+    Alcotest.(check int) "all stuck" 3 d.CS.total;
+    Alcotest.(check int) "sample covers all" 3 (List.length d.CS.stuck);
+    List.iter
+      (fun (_, w) ->
+        Alcotest.(check bool) "stuck in wait" true (w = CS.On_message))
+      d.CS.stuck;
+    let s = Format.asprintf "%a" CS.pp_outcome report.CS.outcome in
+    let contains ~sub s =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "printer shows totals and wake states: %s" s)
+      true
+      (contains ~sub:"3 vertices stuck" s && contains ~sub:"wait" s)
   | _ -> Alcotest.fail "expected deadlock"
 
 (* --- sleep_until fast-forward: silent rounds still counted --- *)
@@ -163,8 +180,8 @@ let test_fast_forward () =
   let g = Gen.ring ~rng:(rng ()) ~n:2 () in
   let node (_ : S.ctx) = ignore (S.sleep_until 1000) in
   let report = S.run g ~node in
-  (match report.outcome with S.Completed -> () | _ -> Alcotest.fail "incomplete");
-  Alcotest.(check bool) "rounds >= 1000" true (report.metrics.Congest.Metrics.rounds >= 1000)
+  (match report.CS.outcome with CS.Completed -> () | _ -> Alcotest.fail "incomplete");
+  Alcotest.(check bool) "rounds >= 1000" true (report.CS.metrics.Congest.Metrics.rounds >= 1000)
 
 (* --- memory ledger --- *)
 
@@ -176,8 +193,8 @@ let test_memory_ledger () =
     S.set_memory 1
   in
   let report = S.run g ~node in
-  Alcotest.(check int) "peak" 45 (Congest.Metrics.peak_memory_max report.metrics);
-  Alcotest.(check int) "per-vertex peak" 15 report.metrics.Congest.Metrics.peak_memory.(0)
+  Alcotest.(check int) "peak" 45 (Congest.Metrics.peak_memory_max report.CS.metrics);
+  Alcotest.(check int) "per-vertex peak" 15 report.CS.metrics.Congest.Metrics.peak_memory.(0)
 
 (* --- pipelined broadcast: M messages through a BFS tree in O(M + D) --- *)
 
@@ -216,8 +233,8 @@ let test_pipelined_broadcast () =
     end
   in
   let report = S.run g ~node in
-  (match report.outcome with S.Completed -> () | _ -> Alcotest.fail "incomplete");
-  let r = report.metrics.Congest.Metrics.rounds in
+  (match report.CS.outcome with CS.Completed -> () | _ -> Alcotest.fail "incomplete");
+  let r = report.CS.metrics.Congest.Metrics.rounds in
   Alcotest.(check bool)
     (Printf.sprintf "pipelined: %d rounds <= M + L + 2 = %d" r (m_tokens + n + 2))
     true
@@ -245,7 +262,7 @@ let test_wait_until () =
     end
   in
   let report = S.run g ~node in
-  (match report.outcome with S.Completed -> () | _ -> Alcotest.fail "incomplete");
+  (match report.CS.outcome with CS.Completed -> () | _ -> Alcotest.fail "incomplete");
   Alcotest.(check bool) "deadline wake" true (!woke_at >= 50 && !woke_at <= 51);
   Alcotest.(check int) "message wake" 7 !got
 
@@ -262,8 +279,8 @@ let test_edge_capacity_2 () =
     end
   in
   let report = S.run ~edge_capacity:2 g ~node in
-  (match report.outcome with S.Completed -> () | _ -> Alcotest.fail "incomplete");
-  Alcotest.(check int) "max load recorded" 2 report.metrics.Congest.Metrics.max_edge_load
+  (match report.CS.outcome with CS.Completed -> () | _ -> Alcotest.fail "incomplete");
+  Alcotest.(check int) "max load recorded" 2 report.CS.metrics.Congest.Metrics.max_edge_load
 
 let test_inbox_sorted_by_port () =
   (* vertex 0 of a 4-ring has two neighbours; both send in the same round *)
@@ -283,6 +300,76 @@ let test_inbox_sorted_by_port () =
   Alcotest.(check (list int)) "sorted ports" (List.sort compare !seen) !seen;
   Alcotest.(check int) "both arrived" 2 (List.length !seen)
 
+(* --- sleep_until a round that has already passed: returns next round --- *)
+
+let test_sleep_until_past () =
+  let g = Gen.ring ~rng:(rng ()) ~n:2 () in
+  let woke = ref (-1) in
+  let node (ctx : S.ctx) =
+    if ctx.me = 0 then begin
+      ignore (S.sleep_until 10);
+      (* target already 7 rounds behind: must not rewind or hang *)
+      ignore (S.sleep_until 3);
+      woke := S.round ()
+    end
+  in
+  let report = S.run g ~node in
+  (match report.CS.outcome with CS.Completed -> () | _ -> Alcotest.fail "incomplete");
+  Alcotest.(check int) "stale deadline wakes next round" 11 !woke
+
+(* --- wait_until whose deadline round also delivers a message: the inbox
+   must carry the message rather than losing it to the deadline --- *)
+
+let test_wait_until_race () =
+  let g = Gen.ring ~rng:(rng ()) ~n:2 () in
+  let got = ref [] and woke = ref (-1) in
+  let node (ctx : S.ctx) =
+    if ctx.me = 0 then begin
+      ignore (S.sleep_until 4);
+      S.send 0 77 (* arrives exactly at the peer's deadline, round 5 *)
+    end
+    else begin
+      let inbox = S.wait_until 5 in
+      woke := S.round ();
+      got := List.map snd inbox
+    end
+  in
+  let report = S.run g ~node in
+  (match report.CS.outcome with CS.Completed -> () | _ -> Alcotest.fail "incomplete");
+  Alcotest.(check int) "woke at the deadline" 5 !woke;
+  Alcotest.(check (list int)) "message not lost to the deadline" [ 77 ] !got
+
+(* --- CONGEST limits hold *through* the reliable layer: its wider physical
+   budget must not let the protocol overspend its own --- *)
+
+let test_reliable_congestion () =
+  let g = Gen.ring ~rng:(rng ()) ~n:2 () in
+  let node (o : R.ops) (ctx : R.ctx) =
+    if ctx.me = 0 then begin
+      o.R.send 0 1;
+      o.R.send 0 2
+    end
+    else ignore (o.R.wait ())
+  in
+  Alcotest.check_raises "congestion through reliable"
+    (Congest.Sim.Congestion { vertex = 0; port = 0; round = 0 })
+    (fun () -> ignore (R.run ~edge_capacity:1 g ~node))
+
+let test_reliable_word_limit () =
+  let module Wide = struct
+    type t = unit
+
+    let words () = 100
+  end in
+  let module RW = Congest.Reliable.Make (Wide) in
+  let g = Gen.ring ~rng:(rng ()) ~n:2 () in
+  let node (o : RW.ops) (ctx : RW.ctx) =
+    if ctx.me = 0 then o.RW.send 0 () else ignore (o.RW.wait ())
+  in
+  Alcotest.check_raises "too large through reliable"
+    (Congest.Sim.Message_too_large { vertex = 0; words = 100; round = 0 })
+    (fun () -> ignore (RW.run g ~node))
+
 let () =
   Alcotest.run "congest"
     [
@@ -300,5 +387,9 @@ let () =
           Alcotest.test_case "wait_until semantics" `Quick test_wait_until;
           Alcotest.test_case "edge capacity 2" `Quick test_edge_capacity_2;
           Alcotest.test_case "inbox sorted by port" `Quick test_inbox_sorted_by_port;
+          Alcotest.test_case "sleep_until past round" `Quick test_sleep_until_past;
+          Alcotest.test_case "wait_until deadline race" `Quick test_wait_until_race;
+          Alcotest.test_case "congestion through reliable" `Quick test_reliable_congestion;
+          Alcotest.test_case "word limit through reliable" `Quick test_reliable_word_limit;
         ] );
     ]

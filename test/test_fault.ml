@@ -1,0 +1,275 @@
+(* Fault injection and the reliable transport: determinism of fault plans,
+   counter accounting, exactly-once in-order delivery under drops, and the
+   headline property — the distributed tree-routing protocol over the
+   reliable layer produces a scheme bit-identical to its fault-free run. *)
+
+open Dgraph
+
+let rng () = Random.State.make [| 42 |]
+
+module CS = Congest.Sim
+
+module Imsg = struct
+  type t = int
+
+  let words _ = 1
+end
+
+module S = Congest.Sim.Make (Imsg)
+module R = Congest.Reliable.Make (Imsg)
+
+(* A quick transport config so dead-link detection happens in tens, not
+   thousands, of rounds. Only safe when faults are deterministic (crashes,
+   link cuts): under random drops, 4 transmissions of a frame can all be lost
+   often enough to fake a dead link — random-drop tests use the default
+   config, whose retry budget makes false deaths vanishingly unlikely. *)
+let fast = { Congest.Reliable.ack_timeout = 2; backoff = 2; max_retries = 4 }
+
+(* every vertex beacons on all ports for [rounds] rounds — a fixed send
+   pattern, so message counts are identical across runs no matter what the
+   network does to the payloads *)
+let beacon ~rounds (ctx : S.ctx) =
+  let deg = Array.length ctx.neighbors in
+  for r = 1 to rounds do
+    for p = 0 to deg - 1 do
+      S.send p r
+    done;
+    ignore (S.sync ())
+  done;
+  ignore (S.sleep_until (rounds + 8))
+
+let run_beacon spec =
+  let g = Gen.grid ~rng:(rng ()) ~rows:4 ~cols:4 () in
+  S.run ~faults:(Congest.Fault.make spec) g ~node:(beacon ~rounds:20)
+
+(* --- same spec => identical run, counter for counter --- *)
+
+let test_fault_determinism () =
+  let spec =
+    { Congest.Fault.none with seed = 7; drop = 0.2; duplicate = 0.1; delay = 0.15;
+      max_delay = 3 }
+  in
+  let a = run_beacon spec and b = run_beacon spec in
+  let m (r : CS.report) =
+    let m = r.CS.metrics in
+    Congest.Metrics.
+      (m.rounds, m.messages, m.message_words, m.dropped, m.duplicated, m.delayed,
+       m.retransmitted)
+  in
+  Alcotest.(check bool) "identical metrics" true (m a = m b);
+  let c = run_beacon { spec with seed = 8 } in
+  Alcotest.(check bool) "different seed, different faults" true (m a <> m c)
+
+(* --- each fault class is counted where expected --- *)
+
+let test_fault_counters () =
+  let r0 = run_beacon Congest.Fault.none in
+  let m0 = r0.CS.metrics in
+  Alcotest.(check int) "clean run drops nothing" 0
+    Congest.Metrics.(m0.dropped + m0.duplicated + m0.delayed);
+  let spec =
+    { Congest.Fault.none with seed = 3; drop = 0.3; duplicate = 0.2; delay = 0.2;
+      max_delay = 4 }
+  in
+  let r = run_beacon spec in
+  let m = r.CS.metrics in
+  Alcotest.(check bool) "drops counted" true (m.Congest.Metrics.dropped > 0);
+  Alcotest.(check bool) "duplicates counted" true (m.Congest.Metrics.duplicated > 0);
+  Alcotest.(check bool) "delays counted" true (m.Congest.Metrics.delayed > 0);
+  Alcotest.(check int) "same sends as the clean run" m0.Congest.Metrics.messages
+    m.Congest.Metrics.messages
+
+(* --- permanent link failure: messages sent from the failure round on are
+   gone, earlier ones arrive --- *)
+
+let test_link_failure () =
+  let g = Gen.ring ~rng:(rng ()) ~n:2 () in
+  let got = ref [] in
+  let node (ctx : S.ctx) =
+    if ctx.me = 0 then
+      for r = 0 to 9 do
+        S.send 0 r;
+        ignore (S.sync ())
+      done
+    else begin
+      let inbox = S.wait_until 20 in
+      let rec drain acc inbox =
+        let acc = acc @ List.map snd inbox in
+        if S.round () >= 20 then acc else drain acc (S.wait_until 20)
+      in
+      got := drain [] inbox
+    end
+  in
+  let faults =
+    Congest.Fault.make
+      { Congest.Fault.none with link_failures = [ (0, 1, 5) ] }
+  in
+  let report = S.run ~faults g ~node in
+  (match report.CS.outcome with
+  | CS.Completed -> ()
+  | oc -> Alcotest.failf "unexpected outcome: %a" CS.pp_outcome oc);
+  Alcotest.(check (list int)) "only pre-failure sends arrive" [ 0; 1; 2; 3; 4 ] !got;
+  Alcotest.(check int) "losses counted" 5 report.CS.metrics.Congest.Metrics.dropped
+
+(* --- reliable transport: exactly-once, in-order delivery under heavy
+   drop/duplicate/delay noise --- *)
+
+let test_reliable_stream () =
+  let g = Gen.ring ~rng:(rng ()) ~n:2 () in
+  let tokens = 25 in
+  let got = ref [] in
+  let node (o : R.ops) (ctx : R.ctx) =
+    if ctx.me = 0 then
+      for i = 1 to tokens do
+        o.R.send 0 i;
+        ignore (o.R.sync ())
+      done
+    else begin
+      let acc = ref [] in
+      while List.length !acc < tokens do
+        let inbox = o.R.wait () in
+        acc := !acc @ List.map snd inbox
+      done;
+      got := !acc;
+      Alcotest.(check (list int)) "no dead links" [] (List.map fst (o.R.dead_ports ()))
+    end
+  in
+  let faults =
+    Congest.Fault.make
+      { Congest.Fault.none with seed = 11; drop = 0.25; duplicate = 0.15;
+        delay = 0.2; max_delay = 3 }
+  in
+  let report = R.run ~faults g ~node in
+  (match report.CS.outcome with
+  | CS.Completed -> ()
+  | oc -> Alcotest.failf "unexpected outcome: %a" CS.pp_outcome oc);
+  Alcotest.(check (list int))
+    "every token exactly once, in order"
+    (List.init tokens (fun i -> i + 1))
+    !got;
+  Alcotest.(check bool) "losses repaired by retransmission" true
+    (report.CS.metrics.Congest.Metrics.retransmitted > 0)
+
+(* --- virtual rounds line up with fault-free rounds: a message sent in
+   virtual round v arrives in virtual round v+1, drops notwithstanding --- *)
+
+let test_reliable_round_alignment () =
+  let g = Gen.ring ~rng:(rng ()) ~n:2 () in
+  let arrived_vr = ref (-1) in
+  let node (o : R.ops) (ctx : R.ctx) =
+    if ctx.me = 0 then begin
+      ignore (o.R.sleep_until 3);
+      o.R.send 0 99;
+      ignore (o.R.sync ())
+    end
+    else begin
+      let inbox = o.R.wait () in
+      assert (List.exists (fun (_, m) -> m = 99) inbox);
+      arrived_vr := o.R.round ()
+    end
+  in
+  let faults =
+    Congest.Fault.make { Congest.Fault.none with seed = 5; drop = 0.3 }
+  in
+  let report = R.run ~faults g ~node in
+  (match report.CS.outcome with
+  | CS.Completed -> ()
+  | oc -> Alcotest.failf "unexpected outcome: %a" CS.pp_outcome oc);
+  Alcotest.(check int) "virtual arrival round" 4 !arrived_vr
+
+(* --- the flagship property: tree routing over the reliable layer under
+   random drops computes the exact scheme of the fault-free run --- *)
+
+let scheme_tables (s : Tz.Tree_routing.scheme) = (s.tables, s.labels)
+
+let tree_routing_run ?faults ?reliable ?config seed g tree =
+  Routing.Dist_tree_routing.run
+    ~rng:(Random.State.make [| seed |])
+    ?faults ?reliable ?config g ~tree
+
+let test_tree_routing_masked_drops () =
+  let g = Gen.connected_erdos_renyi ~rng:(rng ()) ~n:28 ~avg_deg:3.0 () in
+  let tree = Tree.bfs_spanning g ~root:0 in
+  let clean = tree_routing_run 123 g tree in
+  Alcotest.(check (list string)) "clean run has no failures" [] clean.failures;
+  let faults =
+    Congest.Fault.make { Congest.Fault.none with seed = 17; drop = 0.05 }
+  in
+  let noisy = tree_routing_run ~faults 123 g tree in
+  Alcotest.(check (list string)) "noisy run has no failures" [] noisy.failures;
+  Alcotest.(check bool) "scheme bit-identical under drops" true
+    (scheme_tables clean.scheme = scheme_tables noisy.scheme);
+  Alcotest.(check bool) "the network really was noisy" true
+    (noisy.report.Congest.Metrics.dropped > 0);
+  Alcotest.(check bool) "repairs happened" true
+    (noisy.report.Congest.Metrics.retransmitted > 0)
+
+(* --- crash-stop of a non-root tree vertex: structured per-vertex failure
+   reasons, termination, never a deadlock --- *)
+
+let test_tree_routing_crash () =
+  let g = Gen.connected_erdos_renyi ~rng:(rng ()) ~n:24 ~avg_deg:3.0 () in
+  let tree = Tree.bfs_spanning g ~root:0 in
+  (* crash a non-root tree vertex mid-setup *)
+  let victim =
+    List.find (fun v -> v <> 0) (Tree.vertices tree)
+  in
+  let faults =
+    Congest.Fault.make { Congest.Fault.none with crashes = [ (victim, 12) ] }
+  in
+  let out = tree_routing_run ~faults ~config:fast 123 g tree in
+  Alcotest.(check bool) "failures are reported" true (out.failures <> []);
+  List.iter
+    (fun f ->
+      if
+        String.length f >= 8
+        && String.sub f 0 8 = "deadlock"
+      then Alcotest.failf "run deadlocked: %s" f)
+    out.failures;
+  Alcotest.(check bool) "round limit not hit" true
+    (not (List.mem "round limit exceeded" out.failures))
+
+(* --- crash pre-setup: the watchdog ends the run with a reason even when the
+   crash silences the whole schedule flood --- *)
+
+let test_tree_routing_crash_of_root_neighbor_region () =
+  let g = Gen.ring ~rng:(rng ()) ~n:8 () in
+  let tree = Tree.bfs_spanning g ~root:0 in
+  let faults =
+    Congest.Fault.make
+      { Congest.Fault.none with crashes = [ (1, 0); (7, 0) ] }
+  in
+  (* vertices 1 and 7 are the root's only neighbours on the ring: from round 0
+     the root is cut off and nothing can be set up *)
+  let out = tree_routing_run ~faults ~config:fast 123 g tree in
+  Alcotest.(check bool) "failures are reported" true (out.failures <> []);
+  List.iter
+    (fun f ->
+      if String.length f >= 8 && String.sub f 0 8 = "deadlock" then
+        Alcotest.failf "run deadlocked: %s" f)
+    out.failures
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "inject",
+        [
+          Alcotest.test_case "plans are deterministic" `Quick test_fault_determinism;
+          Alcotest.test_case "counters per fault class" `Quick test_fault_counters;
+          Alcotest.test_case "permanent link failure" `Quick test_link_failure;
+        ] );
+      ( "reliable",
+        [
+          Alcotest.test_case "exactly-once in-order" `Quick test_reliable_stream;
+          Alcotest.test_case "virtual round alignment" `Quick test_reliable_round_alignment;
+        ] );
+      ( "tree-routing",
+        [
+          Alcotest.test_case "drops masked, scheme identical" `Quick
+            test_tree_routing_masked_drops;
+          Alcotest.test_case "crash-stop degrades gracefully" `Quick
+            test_tree_routing_crash;
+          Alcotest.test_case "crash before setup: watchdog" `Quick
+            test_tree_routing_crash_of_root_neighbor_region;
+        ] );
+    ]
