@@ -9,9 +9,13 @@
    bounds. Here every column is *measured*: rounds on the CONGEST simulator
    (message-level for tree routing, block-accounted for the general scheme),
    table/label sizes in words, stretch against Dijkstra ground truth, and
-   peak per-vertex memory words. EXPERIMENTS.md records paper-vs-measured. *)
+   peak per-vertex memory words. EXPERIMENTS.md records paper-vs-measured.
+
+   Every experiment also writes a machine-readable BENCH_<name>.json next to
+   the working directory (validated by `drr json-check` in CI). *)
 
 open Dgraph
+module J = Congest.Export.Json
 
 let rng seed = Random.State.make [| seed; 20260704 |]
 
@@ -23,6 +27,11 @@ let header title =
   Printf.printf "== %s\n" title;
   line ()
 
+let emit_json name fields =
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  Congest.Export.to_file path (J.Obj (("experiment", J.Str name) :: fields));
+  Printf.printf "[json] wrote %s\n" path
+
 (* ------------------------------------------------------------------ *)
 (* Table 2: distributed exact tree routing                              *)
 (* ------------------------------------------------------------------ *)
@@ -33,6 +42,7 @@ let table2 () =
   Printf.printf "%-28s %6s %6s | %9s %9s %9s %9s %8s\n" "scheme" "n" "D" "rounds"
     "table(w)" "label(w)" "mem(w)" "exact";
   line ();
+  let jrows = ref [] in
   let run_row n make =
     let g, tree = make n in
     let d = Bfs.eccentricity g ~src:(Tree.root tree) in
@@ -62,6 +72,20 @@ let table2 () =
       ours.Routing.Dist_tree_routing.report.Congest.Metrics.rounds 4 max_label
       (Congest.Metrics.peak_memory_max ours.Routing.Dist_tree_routing.report)
       !exact;
+    jrows :=
+      J.Obj
+        [
+          ("n", J.Int n);
+          ("d", J.Int d);
+          ("rounds", J.Int ours.Routing.Dist_tree_routing.report.Congest.Metrics.rounds);
+          ("table_words", J.Int 4);
+          ("label_words", J.Int max_label);
+          ( "peak_memory",
+            J.Int (Congest.Metrics.peak_memory_max ours.Routing.Dist_tree_routing.report)
+          );
+          ("exact", J.Bool !exact);
+        ]
+      :: !jrows;
     (* EN16b baseline (cost-modelled construction, same partition machinery) *)
     let en16 = Routing.Tree_routing_en16.run ~rng:(rng (3000 + n)) g ~tree in
     Printf.printf "%-28s %6d %6d | %9d %9d %9d %9d %8s\n" "LP15/EN16b (modelled)" n d
@@ -92,6 +116,7 @@ let table2 () =
   run_row 512 (fun n ->
       let g = Gen.connected_erdos_renyi ~rng:(rng (n + 7)) ~n ~avg_deg:4.0 () in
       (g, Tree.bfs_spanning g ~root:0));
+  emit_json "table2" [ ("rows", J.Arr (List.rev !jrows)) ];
   print_newline ();
   Printf.printf
     "shape check: our table is O(1)=4 words and memory stays ~O(log n) while the\n\
@@ -110,6 +135,7 @@ let table1 () =
   Printf.printf "%-26s %5s %3s | %10s %9s %9s %11s %9s\n" "scheme" "n" "k" "rounds"
     "table(w)" "label(w)" "max-stretch" "mem(w)";
   line ();
+  let jrows = ref [] in
   List.iter
     (fun (n, k) ->
       let g =
@@ -129,6 +155,19 @@ let table1 () =
         (Routing.Scheme.max_label_words ours)
         s_ours.Routing.Stretch.max_stretch
         (Routing.Scheme.peak_memory_words ours);
+      jrows :=
+        J.Obj
+          [
+            ("n", J.Int nv);
+            ("k", J.Int k);
+            ("rounds", J.Int (Routing.Cost.total_rounds (Routing.Scheme.cost ours)));
+            ("table_words", J.Int (Routing.Scheme.max_table_words ours));
+            ("label_words", J.Int (Routing.Scheme.max_label_words ours));
+            ("max_stretch", J.Float s_ours.Routing.Stretch.max_stretch);
+            ("peak_memory", J.Int (Routing.Scheme.peak_memory_words ours));
+            ("cost", Routing.Cost.to_json (Routing.Scheme.cost ours));
+          ]
+        :: !jrows;
       (* EN16b-style: same rounds regime, but labels compose a local label per
          virtual light edge and every virtual vertex stores Theta(sqrt n) *)
       let tree0 =
@@ -162,6 +201,7 @@ let table1 () =
         s_tz.Routing.Stretch.max_stretch "n/a";
       line ())
     [ (256, 2); (256, 3); (512, 2); (512, 3); (512, 4) ];
+  emit_json "table1" [ ("rows", J.Arr (List.rev !jrows)) ];
   Printf.printf
     "shape check: our labels are O(k log n) words (vs O(k log^2 n) EN16b-style),\n\
      tables match TZ's ~n^{1/k} polylog, stretch <= 4k-3+o(1), and memory is\n\
@@ -180,6 +220,7 @@ let fig_a () =
     Gen.connected_erdos_renyi ~rng:(rng 42)
       ~weights:(Gen.uniform_weights 1.0 8.0) ~n:400 ~avg_deg:5.0 ()
   in
+  let jrows = ref [] in
   List.iter
     (fun k ->
       let ours = Routing.Scheme.build ~rng:(rng (600 + k)) ~k g in
@@ -195,8 +236,21 @@ let fig_a () =
       Printf.printf "%-4d %8d | %12.3f %12.3f %12.3f | %12.3f %12.3f\n" k ((4 * k) - 3)
         s.Routing.Stretch.avg_stretch s.Routing.Stretch.p95_stretch
         s.Routing.Stretch.max_stretch st.Routing.Stretch.avg_stretch
-        st.Routing.Stretch.max_stretch)
-    [ 2; 3; 4; 5 ]
+        st.Routing.Stretch.max_stretch;
+      jrows :=
+        J.Obj
+          [
+            ("k", J.Int k);
+            ("bound", J.Int ((4 * k) - 3));
+            ("ours_avg", J.Float s.Routing.Stretch.avg_stretch);
+            ("ours_p95", J.Float s.Routing.Stretch.p95_stretch);
+            ("ours_max", J.Float s.Routing.Stretch.max_stretch);
+            ("tz_avg", J.Float st.Routing.Stretch.avg_stretch);
+            ("tz_max", J.Float st.Routing.Stretch.max_stretch);
+          ]
+        :: !jrows)
+    [ 2; 3; 4; 5 ];
+  emit_json "figA" [ ("rows", J.Arr (List.rev !jrows)) ]
 
 (* ------------------------------------------------------------------ *)
 (* Fig B: construction rounds vs n                                      *)
@@ -207,6 +261,7 @@ let fig_b () =
   Printf.printf "%-6s %6s %12s %18s %14s %16s\n" "n" "D" "rounds" "n^{1/2+1/k}+D" "ratio"
     "ratio/log^2 n";
   line ();
+  let jrows = ref [] in
   List.iter
     (fun n ->
       let g =
@@ -221,8 +276,19 @@ let fig_b () =
       let log2n = log (float_of_int nv) /. log 2.0 in
       Printf.printf "%-6d %6d %12d %18.0f %14.1f %16.2f\n" nv d rounds target
         (float_of_int rounds /. target)
-        (float_of_int rounds /. (target *. log2n *. log2n)))
+        (float_of_int rounds /. (target *. log2n *. log2n));
+      jrows :=
+        J.Obj
+          [
+            ("n", J.Int nv);
+            ("d", J.Int d);
+            ("rounds", J.Int rounds);
+            ("target", J.Float target);
+            ("ratio", J.Float (float_of_int rounds /. target));
+          ]
+        :: !jrows)
     [ 128; 256; 512; 1024 ];
+  emit_json "figB" [ ("rows", J.Arr (List.rev !jrows)) ];
   Printf.printf
     "(the last column divides by (n^{1/2+1/k}+D) log^2 n: a flat-or-falling value\n\
      confirms the paper's scaling up to polylog factors)\n"
@@ -236,6 +302,7 @@ let fig_c () =
   Printf.printf "%-6s | %16s %16s | %17s %14s %10s\n" "n" "tree: this paper"
     "tree: EN16b" "graph: this paper" "n^{1/3}ln^2 n" "2*sqrt n";
   line ();
+  let jrows = ref [] in
   List.iter
     (fun n ->
       let gt = Gen.random_tree ~rng:(rng (1100 + n)) ~n () in
@@ -253,8 +320,21 @@ let fig_c () =
         en16.Routing.Tree_routing_en16.peak_memory
         (Routing.Scheme.peak_memory_words scheme)
         ((nf ** (1.0 /. 3.0)) *. log nf *. log nf)
-        (2.0 *. sqrt nf))
-    [ 128; 256; 512; 1024 ]
+        (2.0 *. sqrt nf);
+      jrows :=
+        J.Obj
+          [
+            ("n", J.Int n);
+            ( "tree_ours",
+              J.Int
+                (Congest.Metrics.peak_memory_max ours.Routing.Dist_tree_routing.report)
+            );
+            ("tree_en16", J.Int en16.Routing.Tree_routing_en16.peak_memory);
+            ("graph_ours", J.Int (Routing.Scheme.peak_memory_words scheme));
+          ]
+        :: !jrows)
+    [ 128; 256; 512; 1024 ];
+  emit_json "figC" [ ("rows", J.Arr (List.rev !jrows)) ]
 
 (* ------------------------------------------------------------------ *)
 (* Fig D: hopset tradeoff                                               *)
@@ -282,6 +362,7 @@ let fig_d () =
          Hopsets.Virtual_graph.make g ~members ~b:12) );
     ]
   in
+  let jrows = ref [] in
   List.iter
     (fun (wname, vg) ->
       (* reference: how many B-waves does plain G' need without the hopset? *)
@@ -306,11 +387,26 @@ let fig_d () =
                 (Hopsets.Hopset.max_out_degree h)
                 (Hopsets.Hopset.measured_arboricity h)
                 (match beta with Some b -> string_of_int b | None -> ">256")
-                (match beta0 with Some b -> string_of_int b | None -> ">512"))
+                (match beta0 with Some b -> string_of_int b | None -> ">512");
+              jrows :=
+                J.Obj
+                  [
+                    ("workload", J.Str wname);
+                    ("lambda", J.Int lambda);
+                    ("epsilon", J.Float eps);
+                    ("hopset_size", J.Int (Hopsets.Hopset.size h));
+                    ("max_store", J.Int (Hopsets.Hopset.max_out_degree h));
+                    ( "beta",
+                      match beta with Some b -> J.Int b | None -> J.Null );
+                    ( "beta_no_hopset",
+                      match beta0 with Some b -> J.Int b | None -> J.Null );
+                  ]
+                :: !jrows)
             [ 0.0; 0.25 ])
         [ 2; 3 ];
       line ())
     workloads;
+  emit_json "figD" [ ("rows", J.Arr (List.rev !jrows)) ];
   Printf.printf
     "(larger lambda: sparser hopset / smaller per-vertex store, larger beta --\n\
      the Theorem 1 tradeoff; the no-hopset column is the virtual-diameter cost\n\
@@ -325,6 +421,7 @@ let fig_e () =
   Printf.printf "%-6s %3s | %10s %14s | %10s %14s %12s\n" "n" "k" "label(w)"
     "k log2 n" "table(w)" "en16 label(w)" "mem(w)";
   line ();
+  let jrows = ref [] in
   List.iter
     (fun (n, k) ->
       let g =
@@ -345,8 +442,20 @@ let fig_e () =
         (float_of_int k *. log2n)
         (Routing.Scheme.max_table_words scheme)
         en16_label
-        (Routing.Scheme.peak_memory_words scheme))
-    [ (128, 2); (128, 3); (256, 2); (256, 3); (512, 2); (512, 3); (512, 4); (1024, 3) ]
+        (Routing.Scheme.peak_memory_words scheme);
+      jrows :=
+        J.Obj
+          [
+            ("n", J.Int (Graph.n g));
+            ("k", J.Int k);
+            ("label_words", J.Int (Routing.Scheme.max_label_words scheme));
+            ("table_words", J.Int (Routing.Scheme.max_table_words scheme));
+            ("en16_label_words", J.Int en16_label);
+            ("peak_memory", J.Int (Routing.Scheme.peak_memory_words scheme));
+          ]
+        :: !jrows)
+    [ (128, 2); (128, 3); (256, 2); (256, 3); (512, 2); (512, 3); (512, 4); (1024, 3) ];
+  emit_json "figE" [ ("rows", J.Arr (List.rev !jrows)) ]
 
 (* ------------------------------------------------------------------ *)
 (* Fig F: ablations of the paper's design choices                       *)
@@ -354,6 +463,7 @@ let fig_e () =
 
 let fig_f () =
   header "Fig F: ablations";
+  let jrows = ref [] in
   (* F1: random broadcast start times (Lemma 2's memory argument) *)
   Printf.printf "F1. staggered broadcast start times (tree protocol, ER n=400, q=0.2):\n";
   Printf.printf "    %-24s %10s %12s %10s\n" "variant" "rounds" "peak mem(w)" "exact";
@@ -377,7 +487,20 @@ let fig_f () =
         (if st then "staggered (paper)" else "unstaggered (ablation)")
         out.Routing.Dist_tree_routing.report.Congest.Metrics.rounds
         (Congest.Metrics.peak_memory_max out.Routing.Dist_tree_routing.report)
-        !exact)
+        !exact;
+      jrows :=
+        J.Obj
+          [
+            ("ablation", J.Str "stagger");
+            ("staggered", J.Bool st);
+            ("rounds", J.Int out.Routing.Dist_tree_routing.report.Congest.Metrics.rounds);
+            ( "peak_memory",
+              J.Int
+                (Congest.Metrics.peak_memory_max out.Routing.Dist_tree_routing.report)
+            );
+            ("exact", J.Bool !exact);
+          ]
+        :: !jrows)
     [ true; false ];
   Printf.printf
     "    (the random start times are exactly what keeps relay queues O(log n))\n\n";
@@ -391,7 +514,11 @@ let fig_f () =
   in
   List.iter
     (fun eps ->
-      let scheme = Routing.Scheme.build ~rng:(rng 2301) ~k:3 ~epsilon:eps gg in
+      let scheme =
+        Routing.Scheme.build ~rng:(rng 2301) ~k:3
+          ~params:{ Routing.Scheme.Params.default with epsilon = eps }
+          gg
+      in
       let s =
         Routing.Stretch.evaluate ~rng:(rng 2302) ~pairs:1500 gg ~route:(fun ~src ~dst ->
             Routing.Scheme.route scheme ~src ~dst)
@@ -399,7 +526,18 @@ let fig_f () =
       Printf.printf "    %-8.3f %12.3f %12.3f %10d %10d\n" eps
         s.Routing.Stretch.avg_stretch s.Routing.Stretch.max_stretch
         (Routing.Scheme.max_table_words scheme)
-        (Routing.Scheme.peak_memory_words scheme))
+        (Routing.Scheme.peak_memory_words scheme);
+      jrows :=
+        J.Obj
+          [
+            ("ablation", J.Str "epsilon");
+            ("epsilon", J.Float eps);
+            ("avg_stretch", J.Float s.Routing.Stretch.avg_stretch);
+            ("max_stretch", J.Float s.Routing.Stretch.max_stretch);
+            ("table_words", J.Int (Routing.Scheme.max_table_words scheme));
+            ("peak_memory", J.Int (Routing.Scheme.peak_memory_words scheme));
+          ]
+        :: !jrows)
     [ 0.01; 0.05; 0.2; 0.5 ];
   Printf.printf
     "    (larger eps prunes approximate clusters harder: smaller tables/memory,\n\
@@ -410,7 +548,11 @@ let fig_f () =
     "max-stretch" "rounds";
   List.iter
     (fun beta ->
-      let scheme = Routing.Scheme.build ~rng:(rng 2301) ~k:3 ~beta gg in
+      let scheme =
+        Routing.Scheme.build ~rng:(rng 2301) ~k:3
+          ~params:{ Routing.Scheme.Params.default with beta = Some beta }
+          gg
+      in
       let s =
         Routing.Stretch.evaluate ~rng:(rng 2302) ~pairs:1500 gg ~route:(fun ~src ~dst ->
             Routing.Scheme.route scheme ~src ~dst)
@@ -418,8 +560,21 @@ let fig_f () =
       Printf.printf "    %-8d %4d/%4d %12.3f %12.3f %10d\n" beta
         s.Routing.Stretch.delivered s.Routing.Stretch.pairs
         s.Routing.Stretch.avg_stretch s.Routing.Stretch.max_stretch
-        (Routing.Cost.total_rounds (Routing.Scheme.cost scheme)))
+        (Routing.Cost.total_rounds (Routing.Scheme.cost scheme));
+      jrows :=
+        J.Obj
+          [
+            ("ablation", J.Str "beta");
+            ("beta", J.Int beta);
+            ("delivered", J.Int s.Routing.Stretch.delivered);
+            ("pairs", J.Int s.Routing.Stretch.pairs);
+            ("avg_stretch", J.Float s.Routing.Stretch.avg_stretch);
+            ("max_stretch", J.Float s.Routing.Stretch.max_stretch);
+            ("rounds", J.Int (Routing.Cost.total_rounds (Routing.Scheme.cost scheme)));
+          ]
+        :: !jrows)
     [ 2; 4; 8; 16 ];
+  emit_json "figF" [ ("rows", J.Arr (List.rev !jrows)) ];
   Printf.printf
     "    (beta trades rounds against the quality of the hop-bounded explorations;\n\
     \     too-small beta shows up as missing deliveries or extra stretch)\n"
@@ -446,6 +601,7 @@ let faults () =
          (g, Tree.bfs_spanning g ~root:0)) );
     ]
   in
+  let jrows = ref [] in
   List.iter
     (fun (wname, (g, tree)) ->
       (* fault-free reference over the *raw* simulator: the baseline cost and
@@ -480,10 +636,24 @@ let faults () =
             m.Congest.Metrics.retransmitted
             (float_of_int m.Congest.Metrics.message_words
             /. float_of_int base_words)
-            exact)
+            exact;
+          jrows :=
+            J.Obj
+              [
+                ("workload", J.Str wname);
+                ("drop", J.Float drop);
+                ("rounds", J.Int m.Congest.Metrics.rounds);
+                ("messages", J.Int m.Congest.Metrics.messages);
+                ("words", J.Int m.Congest.Metrics.message_words);
+                ("dropped", J.Int m.Congest.Metrics.dropped);
+                ("retransmitted", J.Int m.Congest.Metrics.retransmitted);
+                ("exact", J.Bool exact);
+              ]
+            :: !jrows)
         [ 0.0; 0.01; 0.02; 0.05 ];
       line ())
     workloads;
+  emit_json "faults" [ ("rows", J.Arr (List.rev !jrows)) ];
   Printf.printf
     "(x-words = transport words over the raw fault-free run's words: the price\n\
      of framing, acks and retransmission. exact = the recovered scheme equals\n\
@@ -526,17 +696,157 @@ let timing () =
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let jrows = ref [] in
   List.iter
     (fun (name, r) ->
       match Analyze.OLS.estimates r with
-      | Some (e :: _) -> Printf.printf "%-48s %12.2f ms/run\n" name (e /. 1e6)
+      | Some (e :: _) ->
+        Printf.printf "%-48s %12.2f ms/run\n" name (e /. 1e6);
+        jrows :=
+          J.Obj [ ("name", J.Str name); ("ms_per_run", J.Float (e /. 1e6)) ]
+          :: !jrows
       | _ -> Printf.printf "%-48s %12s\n" name "n/a")
-    (List.sort compare rows)
+    (List.sort compare rows);
+  emit_json "timing" [ ("rows", J.Arr (List.rev !jrows)) ]
+
+(* ------------------------------------------------------------------ *)
+(* tree / scheme: traced reference runs for the observability layer     *)
+(* ------------------------------------------------------------------ *)
+
+let tree_bench () =
+  header "tree: traced tree-routing reference run (ER n=512)";
+  let g = Gen.connected_erdos_renyi ~rng:(rng 2500) ~n:512 ~avg_deg:4.0 () in
+  let tree = Tree.bfs_spanning g ~root:0 in
+  let tr = Congest.Trace.make () in
+  let out = Routing.Dist_tree_routing.run ~rng:(rng 2501) ~trace:tr g ~tree in
+  assert (out.Routing.Dist_tree_routing.failures = []);
+  let m = out.Routing.Dist_tree_routing.report in
+  let total = m.Congest.Metrics.rounds in
+  Printf.printf "%-28s %10s\n" "phase" "rounds";
+  let breakdown = Congest.Trace.phase_breakdown tr ~total_rounds:total in
+  List.iter (fun (name, r) -> Printf.printf "%-28s %10d\n" name r) breakdown;
+  Printf.printf "%-28s %10d\n" "TOTAL" total;
+  emit_json "tree"
+    [
+      ("n", J.Int (Graph.n g));
+      ("m", J.Int (Graph.m g));
+      ( "phases",
+        J.Arr
+          (List.map
+             (fun (name, r) -> J.Obj [ ("name", J.Str name); ("rounds", J.Int r) ])
+             breakdown) );
+      ("metrics", Congest.Export.metrics m);
+      ("trace", Congest.Export.trace tr);
+    ]
+
+let scheme_bench () =
+  header "scheme: traced general-scheme construction (ER n=256, k=3)";
+  let g =
+    Gen.connected_erdos_renyi ~rng:(rng 2510)
+      ~weights:(Gen.uniform_weights 1.0 8.0) ~n:256 ~avg_deg:5.0 ()
+  in
+  let tr = Congest.Trace.make () in
+  let scheme = Routing.Scheme.build ~rng:(rng 2511) ~k:3 ~trace:tr g in
+  let cost = Routing.Scheme.cost scheme in
+  let total = Routing.Cost.total_rounds cost in
+  Format.printf "%a@." Routing.Cost.pp cost;
+  let mem = Congest.Histogram.of_array (Routing.Scheme.per_vertex_memory scheme) in
+  Format.printf "per-vertex final-state memory: %a@." Congest.Histogram.pp mem;
+  emit_json "scheme"
+    [
+      ("n", J.Int (Graph.n g));
+      ("m", J.Int (Graph.m g));
+      ("k", J.Int 3);
+      ("cost", Routing.Cost.to_json cost);
+      ("total_rounds", J.Int total);
+      ( "phases",
+        J.Arr
+          (List.map
+             (fun (name, r) -> J.Obj [ ("name", J.Str name); ("rounds", J.Int r) ])
+             (Congest.Trace.phase_breakdown tr ~total_rounds:total)) );
+      ("memory", Congest.Export.histogram mem);
+      ("trace", Congest.Export.trace tr);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* tracecost: allocation cost of the tracing hooks on the sync hot path *)
+(* ------------------------------------------------------------------ *)
+
+let tracecost () =
+  header "tracecost: allocations per executed round, trace off vs on (ring n=64)";
+  let module S = Congest.Sim.Make (struct
+    type t = int
+
+    let words _ = 1
+  end) in
+  let g = Gen.ring ~rng:(rng 2600) ~n:64 () in
+  let syncs = 500 in
+  let node (_ : S.ctx) =
+    for _ = 1 to syncs do
+      S.send 0 (S.round ());
+      ignore (S.sync ())
+    done
+  in
+  let measure trace =
+    let a0 = Gc.allocated_bytes () in
+    let report = S.run ?trace g ~node in
+    let a1 = Gc.allocated_bytes () in
+    (report.Congest.Sim.metrics.Congest.Metrics.rounds, a1 -. a0)
+  in
+  ignore (measure None);
+  (* warm-up *)
+  let rounds_off, bytes_off = measure None in
+  let rounds_on, bytes_on = measure (Some (Congest.Trace.make ())) in
+  let rounds_off', bytes_off' = measure None in
+  let per rounds bytes = bytes /. float_of_int (max 1 rounds) in
+  Printf.printf "%-12s %10s %14s %16s\n" "config" "rounds" "alloc(bytes)"
+    "bytes/round";
+  Printf.printf "%-12s %10d %14.0f %16.1f\n" "trace off" rounds_off bytes_off
+    (per rounds_off bytes_off);
+  Printf.printf "%-12s %10d %14.0f %16.1f\n" "trace on" rounds_on bytes_on
+    (per rounds_on bytes_on);
+  Printf.printf "%-12s %10d %14.0f %16.1f\n" "trace off#2" rounds_off' bytes_off'
+    (per rounds_off' bytes_off');
+  Printf.printf
+    "(the on run is bracketed by two off runs: the disabled-trace hooks touch\n\
+    \ only preallocated refs, so on-vs-off deltas beyond run-to-run drift are\n\
+    \ the ring-buffer cost)\n";
+  emit_json "tracecost"
+    [
+      ( "rows",
+        J.Arr
+          [
+            J.Obj
+              [
+                ("config", J.Str "off");
+                ("rounds", J.Int rounds_off);
+                ("alloc_bytes", J.Float bytes_off);
+                ("bytes_per_round", J.Float (per rounds_off bytes_off));
+              ];
+            J.Obj
+              [
+                ("config", J.Str "off2");
+                ("rounds", J.Int rounds_off');
+                ("alloc_bytes", J.Float bytes_off');
+                ("bytes_per_round", J.Float (per rounds_off' bytes_off'));
+              ];
+            J.Obj
+              [
+                ("config", J.Str "on");
+                ("rounds", J.Int rounds_on);
+                ("alloc_bytes", J.Float bytes_on);
+                ("bytes_per_round", J.Float (per rounds_on bytes_on));
+              ];
+          ] );
+    ]
 
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let all =
-    [ table2; table1; fig_a; fig_b; fig_c; fig_d; fig_e; fig_f; faults; timing ]
+    [
+      table2; table1; fig_a; fig_b; fig_c; fig_d; fig_e; fig_f; faults; timing;
+      tree_bench; scheme_bench; tracecost;
+    ]
   in
   match which with
   | "all" -> List.iter (fun f -> f ()) all
@@ -550,8 +860,12 @@ let () =
   | "figF" -> fig_f ()
   | "faults" -> faults ()
   | "timing" -> timing ()
+  | "tree" -> tree_bench ()
+  | "scheme" -> scheme_bench ()
+  | "tracecost" -> tracecost ()
   | other ->
     Printf.eprintf
-      "unknown experiment %S (table1|table2|figA|figB|figC|figD|figE|figF|faults|timing|all)\n"
+      "unknown experiment %S \
+       (table1|table2|figA|figB|figC|figD|figE|figF|faults|timing|tree|scheme|tracecost|all)\n"
       other;
     exit 1

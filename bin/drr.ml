@@ -1,16 +1,26 @@
 (* drr -- distributed routing reproduction CLI.
 
    Subcommands:
-     drr build    build a routing scheme on a generated graph and print its
-                  measured parameters (rounds, table/label words, memory)
-     drr route    build and route queries, printing paths and stretch
-     drr tree     run the distributed tree-routing protocol on the simulator
-     drr info     print graph statistics for a generated workload *)
+     drr build       build a routing scheme on a generated graph and print
+                     its measured parameters (rounds, table/label words,
+                     memory); --json emits the full report as JSON
+     drr route       build and route queries, printing paths and stretch
+     drr tree        run the distributed tree-routing protocol on the
+                     simulator; --json emits the full report as JSON
+     drr trace       run the tree protocol under a trace and print the
+                     per-phase round breakdown and histograms
+     drr json-check  validate that files parse as the JSON this repo emits
+     drr info        print graph statistics for a generated workload *)
 
 open Cmdliner
 open Dgraph
 
 (* ---- shared options ---- *)
+
+let json_t =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the full report as JSON on stdout instead of text.")
 
 let seed_t =
   Arg.(value & opt int 2026 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
@@ -66,28 +76,60 @@ let info_cmd =
 
 (* ---- build ---- *)
 
+let scheme_json ~g ~k scheme trace =
+  let open Congest.Export.Json in
+  let hist = Congest.Histogram.of_array (Routing.Scheme.per_vertex_memory scheme) in
+  Obj
+    [
+      ("command", Str "build");
+      ("n", Int (Graph.n g));
+      ("m", Int (Graph.m g));
+      ("k", Int k);
+      ("cost", Routing.Cost.to_json (Routing.Scheme.cost scheme));
+      ("total_rounds", Int (Routing.Cost.total_rounds (Routing.Scheme.cost scheme)));
+      ("virtual_size", Int (Routing.Scheme.virtual_size scheme));
+      ("b", Int (Routing.Scheme.b_bound scheme));
+      ("beta", Int (Routing.Scheme.beta scheme));
+      ("hopset_size", Int (Routing.Scheme.hopset_size scheme));
+      ("max_table_words", Int (Routing.Scheme.max_table_words scheme));
+      ("max_label_words", Int (Routing.Scheme.max_label_words scheme));
+      ("peak_memory_words", Int (Routing.Scheme.peak_memory_words scheme));
+      ("avg_memory_words", Float (Routing.Scheme.avg_memory_words scheme));
+      ("memory", Congest.Export.histogram hist);
+      ( "trace",
+        match trace with None -> Null | Some tr -> Congest.Export.trace tr );
+    ]
+
 let build_cmd =
-  let run seed n k topology =
+  let run seed n k topology json =
     let g = make_graph ~seed ~n topology in
     let rng = Random.State.make [| seed; 2 |] in
-    Format.printf "building Elkin-Neiman scheme on %a with k=%d...@." Graph.pp g k;
-    let scheme = Routing.Scheme.build ~rng ~k g in
-    Format.printf "@.%a@.@." Routing.Cost.pp (Routing.Scheme.cost scheme);
-    Format.printf "virtual vertices |V'| = %d, B = %d, beta = %d@."
-      (Routing.Scheme.virtual_size scheme)
-      (Routing.Scheme.b_bound scheme) (Routing.Scheme.beta scheme);
-    Format.printf "hopset: %d edges, max per-vertex store %d@."
-      (Routing.Scheme.hopset_size scheme)
-      (Routing.Scheme.hopset_max_store scheme);
-    Format.printf "max table: %d words, max label: %d words@."
-      (Routing.Scheme.max_table_words scheme)
-      (Routing.Scheme.max_label_words scheme);
-    Format.printf "peak memory: %d words, avg: %.1f words@."
-      (Routing.Scheme.peak_memory_words scheme)
-      (Routing.Scheme.avg_memory_words scheme)
+    if json then begin
+      let tr = Congest.Trace.make () in
+      let scheme = Routing.Scheme.build ~rng ~k ~trace:tr g in
+      print_endline
+        (Congest.Export.Json.to_string (scheme_json ~g ~k scheme (Some tr)))
+    end
+    else begin
+      Format.printf "building Elkin-Neiman scheme on %a with k=%d...@." Graph.pp g k;
+      let scheme = Routing.Scheme.build ~rng ~k g in
+      Format.printf "@.%a@.@." Routing.Cost.pp (Routing.Scheme.cost scheme);
+      Format.printf "virtual vertices |V'| = %d, B = %d, beta = %d@."
+        (Routing.Scheme.virtual_size scheme)
+        (Routing.Scheme.b_bound scheme) (Routing.Scheme.beta scheme);
+      Format.printf "hopset: %d edges, max per-vertex store %d@."
+        (Routing.Scheme.hopset_size scheme)
+        (Routing.Scheme.hopset_max_store scheme);
+      Format.printf "max table: %d words, max label: %d words@."
+        (Routing.Scheme.max_table_words scheme)
+        (Routing.Scheme.max_label_words scheme);
+      Format.printf "peak memory: %d words, avg: %.1f words@."
+        (Routing.Scheme.peak_memory_words scheme)
+        (Routing.Scheme.avg_memory_words scheme)
+    end
   in
   Cmd.v (Cmd.info "build" ~doc:"Build a routing scheme and print measured parameters.")
-    Term.(const run $ seed_t $ n_t $ k_t $ topology_t)
+    Term.(const run $ seed_t $ n_t $ k_t $ topology_t $ json_t)
 
 (* ---- route ---- *)
 
@@ -109,7 +151,9 @@ let route_cmd =
           Format.printf "%4d -> %-4d  stretch %.3f  path %s@." src dst
             (Sssp.path_weight g path /. exact)
             (String.concat "-" (List.map string_of_int path))
-        | Error e -> Format.printf "%4d -> %-4d  FAILED: %s@." src dst e
+        | Error e ->
+          Format.printf "%4d -> %-4d  FAILED: %s@." src dst
+            (Tz.Routing_error.to_string e)
       end
     done;
     let stats =
@@ -179,7 +223,7 @@ let tree_cmd =
              fault is injected).")
   in
   let run seed n topology q drop dup delay max_delay link_fail crash fault_seed
-      reliable =
+      reliable json =
     let g = make_graph ~seed ~n topology in
     let rng = Random.State.make [| seed; 4 |] in
     let tree = Tree.bfs_spanning g ~root:0 in
@@ -198,66 +242,197 @@ let tree_cmd =
       if spec = { Congest.Fault.none with seed = fault_seed } then None
       else Some (Congest.Fault.make spec)
     in
-    Format.printf "running the distributed tree-routing protocol on %a@." Graph.pp g;
-    (match faults with
-    | None -> ()
-    | Some f ->
-      let s = Congest.Fault.spec f in
-      Format.printf
-        "fault plan: seed=%d drop=%.3f dup=%.3f delay=%.3f/%d link-fails=%d \
-         crashes=%d (transport: %s)@."
-        s.Congest.Fault.seed s.Congest.Fault.drop s.Congest.Fault.duplicate
-        s.Congest.Fault.delay s.Congest.Fault.max_delay
-        (List.length s.Congest.Fault.link_failures)
-        (List.length s.Congest.Fault.crashes)
-        (match reliable with
-        | Some false -> "raw"
-        | _ -> "reliable"));
-    let out = Routing.Dist_tree_routing.run ~rng ?q ?faults ?reliable g ~tree in
-    (match out.Routing.Dist_tree_routing.failures with
-    | [] -> ()
-    | fs ->
-      Format.printf "PROTOCOL FAILURES:@.";
-      List.iter (fun f -> Format.printf "  %s@." f) fs);
+    if not json then begin
+      Format.printf "running the distributed tree-routing protocol on %a@." Graph.pp g;
+      match faults with
+      | None -> ()
+      | Some f ->
+        let s = Congest.Fault.spec f in
+        Format.printf
+          "fault plan: seed=%d drop=%.3f dup=%.3f delay=%.3f/%d link-fails=%d \
+           crashes=%d (transport: %s)@."
+          s.Congest.Fault.seed s.Congest.Fault.drop s.Congest.Fault.duplicate
+          s.Congest.Fault.delay s.Congest.Fault.max_delay
+          (List.length s.Congest.Fault.link_failures)
+          (List.length s.Congest.Fault.crashes)
+          (match reliable with
+          | Some false -> "raw"
+          | _ -> "reliable")
+    end;
+    let trace = if json then Some (Congest.Trace.make ()) else None in
+    let out = Routing.Dist_tree_routing.run ~rng ?q ?faults ?reliable ?trace g ~tree in
     let m = out.Routing.Dist_tree_routing.report in
-    Format.printf "rounds: %d@.messages: %d (%d words)@." m.Congest.Metrics.rounds
-      m.Congest.Metrics.messages m.Congest.Metrics.message_words;
-    if m.Congest.Metrics.dropped + m.Congest.Metrics.duplicated
-       + m.Congest.Metrics.delayed + m.Congest.Metrics.retransmitted > 0
-    then
-      Format.printf "faults: dropped %d, duplicated %d, delayed %d; retransmitted %d@."
-        m.Congest.Metrics.dropped m.Congest.Metrics.duplicated
-        m.Congest.Metrics.delayed m.Congest.Metrics.retransmitted;
-    Format.printf "|U(T)| = %d, ecc(root) = %d@." out.Routing.Dist_tree_routing.u_count
-      out.Routing.Dist_tree_routing.d_bfs;
-    Format.printf "peak memory: %d words (avg %.1f), max edge load: %d@."
-      (Congest.Metrics.peak_memory_max m)
-      (Congest.Metrics.peak_memory_avg m)
-      m.Congest.Metrics.max_edge_load;
-    (* verify — only meaningful when every vertex finished its tables *)
-    if out.Routing.Dist_tree_routing.failures <> [] then
-      Format.printf "scheme incomplete (unrecoverable faults): skipping route check@."
+    if json then
+      let open Congest.Export.Json in
+      print_endline
+        (to_string
+           (Obj
+              [
+                ("command", Str "tree");
+                ("n", Int (Graph.n g));
+                ("m", Int (Graph.m g));
+                ("metrics", Congest.Export.metrics m);
+                ("u_count", Int out.Routing.Dist_tree_routing.u_count);
+                ("d_bfs", Int out.Routing.Dist_tree_routing.d_bfs);
+                ( "failures",
+                  Arr
+                    (List.map
+                       (fun s -> Str s)
+                       out.Routing.Dist_tree_routing.failures) );
+                ( "trace",
+                  match trace with
+                  | None -> Null
+                  | Some tr -> Congest.Export.trace tr );
+              ]))
     else begin
-      let r = Random.State.make [| seed; 5 |] in
-      let nv = Graph.n g in
-      let ok = ref true in
-      for _ = 1 to 500 do
-        let s = Random.State.int r nv and d = Random.State.int r nv in
-        if
-          Tz.Tree_routing.route out.Routing.Dist_tree_routing.scheme ~src:s ~dst:d
-          <> Tree.path tree s d
-        then ok := false
-      done;
-      Format.printf "exact on 500 sampled pairs: %b@." !ok
+      (match out.Routing.Dist_tree_routing.failures with
+      | [] -> ()
+      | fs ->
+        Format.printf "PROTOCOL FAILURES:@.";
+        List.iter (fun f -> Format.printf "  %s@." f) fs);
+      Format.printf "rounds: %d@.messages: %d (%d words)@." m.Congest.Metrics.rounds
+        m.Congest.Metrics.messages m.Congest.Metrics.message_words;
+      if m.Congest.Metrics.dropped + m.Congest.Metrics.duplicated
+         + m.Congest.Metrics.delayed + m.Congest.Metrics.retransmitted > 0
+      then
+        Format.printf "faults: dropped %d, duplicated %d, delayed %d; retransmitted %d@."
+          m.Congest.Metrics.dropped m.Congest.Metrics.duplicated
+          m.Congest.Metrics.delayed m.Congest.Metrics.retransmitted;
+      Format.printf "|U(T)| = %d, ecc(root) = %d@." out.Routing.Dist_tree_routing.u_count
+        out.Routing.Dist_tree_routing.d_bfs;
+      Format.printf "peak memory: %d words (avg %.1f), max edge load: %d@."
+        (Congest.Metrics.peak_memory_max m)
+        (Congest.Metrics.peak_memory_avg m)
+        m.Congest.Metrics.max_edge_load;
+      (* verify — only meaningful when every vertex finished its tables *)
+      if out.Routing.Dist_tree_routing.failures <> [] then
+        Format.printf "scheme incomplete (unrecoverable faults): skipping route check@."
+      else begin
+        let r = Random.State.make [| seed; 5 |] in
+        let nv = Graph.n g in
+        let ok = ref true in
+        for _ = 1 to 500 do
+          let s = Random.State.int r nv and d = Random.State.int r nv in
+          if
+            Tz.Tree_routing.route out.Routing.Dist_tree_routing.scheme ~src:s ~dst:d
+            <> Tree.path tree s d
+          then ok := false
+        done;
+        Format.printf "exact on 500 sampled pairs: %b@." !ok
+      end
     end
   in
   Cmd.v
     (Cmd.info "tree" ~doc:"Run the distributed tree-routing protocol on the simulator.")
     Term.(
       const run $ seed_t $ n_t $ topology_t $ q_t $ drop_t $ dup_t $ delay_t
-      $ max_delay_t $ link_fail_t $ crash_t $ fault_seed_t $ reliable_t)
+      $ max_delay_t $ link_fail_t $ crash_t $ fault_seed_t $ reliable_t $ json_t)
+
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let q_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "q" ] ~docv:"Q" ~doc:"Sampling probability (default 1/sqrt n).")
+  in
+  let run seed n topology q json =
+    let g = make_graph ~seed ~n topology in
+    let rng = Random.State.make [| seed; 4 |] in
+    let tree = Tree.bfs_spanning g ~root:0 in
+    let tr = Congest.Trace.make () in
+    let out = Routing.Dist_tree_routing.run ~rng ?q ~trace:tr g ~tree in
+    let m = out.Routing.Dist_tree_routing.report in
+    let total = m.Congest.Metrics.rounds in
+    if json then
+      let open Congest.Export.Json in
+      print_endline
+        (to_string
+           (Obj
+              [
+                ("command", Str "trace");
+                ("n", Int (Graph.n g));
+                ("m", Int (Graph.m g));
+                ( "phases",
+                  Arr
+                    (List.map
+                       (fun (name, rounds) ->
+                         Obj [ ("name", Str name); ("rounds", Int rounds) ])
+                       (Congest.Trace.phase_breakdown tr ~total_rounds:total)) );
+                ("metrics", Congest.Export.metrics m);
+                ("trace", Congest.Export.trace tr);
+              ]))
+    else begin
+      Format.printf "tree-routing protocol on %a: %d rounds@.@." Graph.pp g total;
+      Format.printf "per-phase breakdown (root's phase spans):@.";
+      List.iter
+        (fun (name, rounds) ->
+          Format.printf "  %-28s %8d rounds  %5.1f%%@." name rounds
+            (if total = 0 then 0.0
+             else 100.0 *. float_of_int rounds /. float_of_int total))
+        (Congest.Trace.phase_breakdown tr ~total_rounds:total);
+      Format.printf "  %-28s %8d rounds@.@." "TOTAL" total;
+      Format.printf "message size:  %a@." Congest.Histogram.pp
+        m.Congest.Metrics.message_size;
+      Format.printf "edge load:     %a@." Congest.Histogram.pp
+        m.Congest.Metrics.edge_load;
+      Format.printf "vertex memory: %a@." Congest.Histogram.pp
+        (Congest.Metrics.memory_hist m);
+      Format.printf "spans recorded: %d, ring samples: %d, events: %d@."
+        (List.length (Congest.Trace.spans tr))
+        (Array.length (Congest.Trace.rounds tr))
+        (Congest.Trace.events_recorded tr)
+    end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the tree-routing protocol under a trace and print the per-phase \
+          round breakdown (rows sum to the measured round count).")
+    Term.(const run $ seed_t $ n_t $ topology_t $ q_t $ json_t)
+
+(* ---- json-check ---- *)
+
+let json_check_cmd =
+  let files_t =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"JSON files to validate.")
+  in
+  let run files =
+    let bad = ref 0 in
+    List.iter
+      (fun path ->
+        let ic = open_in_bin path in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        match Congest.Export.Json.parse s with
+        | Ok _ -> Format.printf "%s: ok@." path
+        | Error e ->
+          incr bad;
+          Format.printf "%s: INVALID (%s)@." path e)
+      files;
+    if !bad > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "json-check"
+       ~doc:"Validate that each FILE parses as JSON (exit 1 on any failure).")
+    Term.(const run $ files_t)
 
 let () =
   let doc = "Near-optimal distributed routing with low memory (PODC 2018) -- reproduction" in
-  let main = Cmd.group (Cmd.info "drr" ~doc) [ info_cmd; build_cmd; route_cmd; tree_cmd ] in
-  exit (Cmd.eval main)
+  let main =
+    Cmd.group (Cmd.info "drr" ~doc)
+      [ info_cmd; build_cmd; route_cmd; tree_cmd; trace_cmd; json_check_cmd ]
+  in
+  (* cmdliner renders one-character option names with a single dash; accept
+     the double-dash spelling (--n, --k, ...) people type anyway *)
+  let argv =
+    Array.map
+      (fun a ->
+        if String.length a = 3 && a.[0] = '-' && a.[1] = '-' && a.[2] <> '-'
+        then String.sub a 1 2
+        else a)
+      Sys.argv
+  in
+  exit (Cmd.eval ~argv main)

@@ -40,7 +40,7 @@ let () =
       | Ok w ->
         Format.printf "  %3d -> %3d: %7.2f vs %7.2f  (stretch %.2f)@." src dst w exact
           (w /. exact)
-      | Error e -> Format.printf "  %3d -> %3d: FAILED (%s)@." src dst e
+      | Error e -> Format.printf "  %3d -> %3d: FAILED (%s)@." src dst (Tz.Routing_error.to_string e)
     end
   done;
 

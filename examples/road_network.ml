@@ -58,4 +58,4 @@ let () =
   | Ok path ->
     Format.printf "@.corner-to-corner route (%d hops): %s@." (List.length path - 1)
       (String.concat " -> " (List.map string_of_int path))
-  | Error e -> Format.printf "@.corner-to-corner route failed: %s@." e)
+  | Error e -> Format.printf "@.corner-to-corner route failed: %s@." (Tz.Routing_error.to_string e))

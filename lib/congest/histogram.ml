@@ -1,0 +1,101 @@
+(* Dense histogram over small non-negative integers.
+
+   Counts live in a flat [int array] indexed by value, so recording a sample
+   on the simulator's hot path is two array writes and three integer stores —
+   no allocation once the array has grown past the largest value seen. The
+   quantities we histogram (message words, per-round edge load, per-vertex
+   memory words) are all small, so the dense representation is also the
+   compact one. *)
+
+type t = {
+  mutable counts : int array;  (* counts.(v) = samples with value v *)
+  mutable total : int;
+  mutable vmax : int;
+  mutable sum : int;
+}
+
+let initial_capacity = 64
+
+let create () =
+  { counts = Array.make initial_capacity 0; total = 0; vmax = 0; sum = 0 }
+
+let grow t v =
+  let cap = ref (Array.length t.counts) in
+  while v >= !cap do
+    cap := 2 * !cap
+  done;
+  let counts = Array.make !cap 0 in
+  Array.blit t.counts 0 counts 0 (Array.length t.counts);
+  t.counts <- counts
+
+let add t v =
+  if v < 0 then invalid_arg "Histogram.add: negative value";
+  if v >= Array.length t.counts then grow t v;
+  t.counts.(v) <- t.counts.(v) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum + v;
+  if v > t.vmax then t.vmax <- v
+
+let count t = t.total
+let max_value t = t.vmax
+let sum t = t.sum
+
+let mean t =
+  if t.total = 0 then 0.0 else float_of_int t.sum /. float_of_int t.total
+
+(* Value at rank [min (total-1) (total*p/100)] of the sorted sample — the
+   same nearest-rank convention Stretch uses for its p95, so tests can check
+   percentiles against a brute-force sorted array. *)
+let percentile t p =
+  if p < 0 || p > 100 then invalid_arg "Histogram.percentile: p outside 0..100";
+  if t.total = 0 then 0
+  else begin
+    let rank = min (t.total - 1) (t.total * p / 100) in
+    let seen = ref 0 and value = ref 0 and found = ref false in
+    let i = ref 0 in
+    while not !found && !i <= t.vmax do
+      seen := !seen + t.counts.(!i);
+      if !seen > rank then begin
+        value := !i;
+        found := true
+      end;
+      incr i
+    done;
+    !value
+  end
+
+let of_array a =
+  let t = create () in
+  Array.iter (fun v -> add t v) a;
+  t
+
+let merge a b =
+  let t = create () in
+  let pour src =
+    for v = 0 to src.vmax do
+      let c = src.counts.(v) in
+      if c > 0 then begin
+        if v >= Array.length t.counts then grow t v;
+        t.counts.(v) <- t.counts.(v) + c;
+        t.total <- t.total + c;
+        t.sum <- t.sum + (v * c);
+        if v > t.vmax then t.vmax <- v
+      end
+    done
+  in
+  pour a;
+  pour b;
+  t
+
+let buckets t =
+  let acc = ref [] in
+  for v = t.vmax downto 0 do
+    if t.counts.(v) > 0 then acc := (v, t.counts.(v)) :: !acc
+  done;
+  !acc
+
+let pp ppf t =
+  if t.total = 0 then Format.pp_print_string ppf "empty"
+  else
+    Format.fprintf ppf "n=%d mean=%.2f p50=%d p95=%d max=%d" t.total (mean t)
+      (percentile t 50) (percentile t 95) t.vmax

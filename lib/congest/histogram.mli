@@ -1,0 +1,37 @@
+(** Dense histogram over small non-negative integers.
+
+    Backing store is a flat count array indexed by value, so {!add} allocates
+    nothing once the array covers the values seen — cheap enough to sit on the
+    simulator's send path. Used by {!Metrics} for message-size, edge-load and
+    per-vertex-memory distributions. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** Record one sample. Raises [Invalid_argument] on negative values. *)
+
+val count : t -> int
+(** Number of samples recorded. *)
+
+val max_value : t -> int
+(** Largest sample seen (0 when empty). *)
+
+val sum : t -> int
+val mean : t -> float
+
+val percentile : t -> int -> int
+(** [percentile t p] for [p] in 0..100: the value at nearest rank
+    [min (count-1) (count*p/100)] of the sorted sample — the convention
+    {!Tz.Stretch} uses, so the two agree on p50/p95. 0 when empty. *)
+
+val of_array : int array -> t
+
+val merge : t -> t -> t
+(** Fresh histogram holding both sample sets. *)
+
+val buckets : t -> (int * int) list
+(** Non-empty [(value, count)] pairs in increasing value order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -8,6 +8,8 @@ type t = {
   mutable duplicated : int;
   mutable delayed : int;
   mutable retransmitted : int;
+  message_size : Histogram.t;
+  edge_load : Histogram.t;
 }
 
 let create ~n =
@@ -21,6 +23,8 @@ let create ~n =
     duplicated = 0;
     delayed = 0;
     retransmitted = 0;
+    message_size = Histogram.create ();
+    edge_load = Histogram.create ();
   }
 
 let peak_memory_max t = Array.fold_left max 0 t.peak_memory
@@ -46,7 +50,11 @@ let merge a b =
     duplicated = a.duplicated + b.duplicated;
     delayed = a.delayed + b.delayed;
     retransmitted = a.retransmitted + b.retransmitted;
+    message_size = Histogram.merge a.message_size b.message_size;
+    edge_load = Histogram.merge a.edge_load b.edge_load;
   }
+
+let memory_hist t = Histogram.of_array t.peak_memory
 
 let pp ppf t =
   Format.fprintf ppf "rounds=%d msgs=%d words=%d peak_mem=%d avg_mem=%.1f"

@@ -24,6 +24,10 @@ type t = {
   mutable duplicated : int;  (** extra copies injected by the fault plan *)
   mutable delayed : int;  (** messages deferred by the fault plan *)
   mutable retransmitted : int;  (** repair sends by the {!Reliable} layer *)
+  message_size : Histogram.t;  (** words per message, over all sends *)
+  edge_load : Histogram.t;
+      (** messages per (directed edge, active round); only rounds in which
+          the edge carried at least one message are sampled *)
 }
 
 val create : n:int -> t
@@ -35,6 +39,10 @@ val peak_memory_avg : t -> float
 
 val note_memory : t -> int -> int -> unit
 (** [note_memory m v words]: vertex [v] currently holds [words] words. *)
+
+val memory_hist : t -> Histogram.t
+(** Distribution of per-vertex peak memory (one sample per vertex), built
+    from [peak_memory] on demand. *)
 
 val merge : t -> t -> t
 (** Combine metrics of two protocol phases run one after the other on the

@@ -45,19 +45,6 @@ module Make (M : Sim.MESSAGE) = struct
   type ctx = { me : int; n : int; neighbors : int array; weights : float array }
   type inbox = (int * M.t) list
 
-  type ops = {
-    send : int -> M.t -> unit;
-    sync : unit -> inbox;
-    wait : unit -> inbox;
-    sleep_until : int -> inbox;
-    wait_until : int -> inbox;
-    round : unit -> int;
-    real_round : unit -> int;
-    set_memory : int -> unit;
-    add_memory : int -> unit;
-    dead_ports : unit -> (int * string) list;
-  }
-
   let frame_seq = function
     | Data { seq; _ } | Eor { seq; _ } | Fin { seq } -> seq
     | Ack _ -> -1
@@ -81,6 +68,8 @@ module Make (M : Sim.MESSAGE) = struct
     mutable last_heard : int;  (* real round of the last accepted frame *)
     mutable ack_due : bool;
     mutable dead : string option;
+    mutable backoff_since : int;
+        (* real round the link entered retransmission backoff; -1 outside *)
   }
 
   type t = {
@@ -93,6 +82,7 @@ module Make (M : Sim.MESSAGE) = struct
     links : link array;
     mutable vr : int;
     mutable last_pump : int;
+    trace : Trace.t option;
   }
 
   let ipow b e =
@@ -102,7 +92,7 @@ module Make (M : Sim.MESSAGE) = struct
     done;
     !r
 
-  let make_ep cfg ~data_cap ~word_limit (sctx : S.ctx) =
+  let make_ep cfg ~data_cap ~word_limit ?trace (sctx : S.ctx) =
     {
       cfg;
       me = sctx.S.me;
@@ -130,10 +120,12 @@ module Make (M : Sim.MESSAGE) = struct
               last_heard = 0;
               ack_due = false;
               dead = None;
+              backoff_since = -1;
             })
           sctx.S.neighbors;
       vr = 0;
       last_pump = -1;
+      trace;
     }
 
   let enqueue_frame l mk =
@@ -143,7 +135,20 @@ module Make (M : Sim.MESSAGE) = struct
       Queue.add f l.unsent
     end
 
-  let accept l = function
+  (* the link recovered (or stopped mattering): close its backoff span *)
+  let close_backoff ep l =
+    if l.backoff_since >= 0 then begin
+      (match ep.trace with
+      | Some tr ->
+        Trace.add_closed_span tr ~depth:1
+          ~detail:(Printf.sprintf "v%d->v%d" ep.me l.peer)
+          ~name:"backoff" ~start_round:l.backoff_since
+          ~end_round:(S.round ()) ()
+      | None -> ());
+      l.backoff_since <- -1
+    end
+
+  let accept ep l = function
     | Data { body; _ } -> Queue.add (l.peer_eor, body) l.indata
     | Eor { vr; _ } ->
       assert (vr = l.peer_eor);
@@ -153,7 +158,8 @@ module Make (M : Sim.MESSAGE) = struct
       (* the peer has finished: nothing we still owe it can matter *)
       Queue.clear l.unsent;
       l.unacked <- [];
-      l.tries <- 0
+      l.tries <- 0;
+      close_backoff ep l
     | Ack _ -> assert false
 
   let process ep (port, f) =
@@ -168,7 +174,10 @@ module Make (M : Sim.MESSAGE) = struct
         in
         l.unacked <- drop l.unacked;
         if l.unacked == before then ()
-        else if l.unacked = [] then l.tries <- 0
+        else if l.unacked = [] then begin
+          l.tries <- 0;
+          close_backoff ep l
+        end
         else begin
           (* a younger frame is now the oldest: restart its timer *)
           l.tries <- 1;
@@ -179,14 +188,14 @@ module Make (M : Sim.MESSAGE) = struct
         let s = frame_seq f in
         if s = l.recv_next then begin
           l.last_heard <- S.round ();
-          accept l f;
+          accept ep l f;
           l.recv_next <- s + 1;
           let continue = ref true in
           while !continue do
             match Hashtbl.find_opt l.ooo l.recv_next with
             | Some f' ->
               Hashtbl.remove l.ooo l.recv_next;
-              accept l f';
+              accept ep l f';
               l.recv_next <- l.recv_next + 1
             | None -> continue := false
           done
@@ -217,13 +226,30 @@ module Make (M : Sim.MESSAGE) = struct
                 if l.tries >= ep.cfg.max_retries then begin
                   Queue.clear l.unsent;
                   l.unacked <- [];
-                  if not l.peer_fin then
-                    l.dead <-
-                      Some
-                        (Printf.sprintf "no ack for seq %d from v%d after %d transmissions"
-                           (frame_seq oldest) l.peer l.tries)
+                  if not l.peer_fin then begin
+                    let why =
+                      Printf.sprintf
+                        "no ack for seq %d from v%d after %d transmissions"
+                        (frame_seq oldest) l.peer l.tries
+                    in
+                    l.dead <- Some why;
+                    match ep.trace with
+                    | Some tr ->
+                      Trace.event tr
+                        (Printf.sprintf "link v%d->v%d dead: %s" ep.me l.peer
+                           why)
+                    | None -> ()
+                  end;
+                  close_backoff ep l
                 end
                 else begin
+                  if l.backoff_since < 0 then l.backoff_since <- now;
+                  (match ep.trace with
+                  | Some tr ->
+                    Trace.event tr
+                      (Printf.sprintf "retx v%d->v%d seq=%d try=%d" ep.me
+                         l.peer (frame_seq oldest) (l.tries + 1))
+                  | None -> ());
                   let window = !budget in
                   List.iteri
                     (fun i f ->
@@ -286,12 +312,20 @@ module Make (M : Sim.MESSAGE) = struct
         if
           blocking ep l && l.unacked = []
           && now - max wait_start l.last_heard > ep.patience
-        then
-          l.dead <-
-            Some
-              (Printf.sprintf
-                 "no end-of-round %d from v%d for %d rounds (crashed?)" ep.vr
-                 l.peer (now - max wait_start l.last_heard)))
+        then begin
+          let why =
+            Printf.sprintf "no end-of-round %d from v%d for %d rounds (crashed?)"
+              ep.vr l.peer
+              (now - max wait_start l.last_heard)
+          in
+          l.dead <- Some why;
+          (match ep.trace with
+          | Some tr ->
+            Trace.event tr
+              (Printf.sprintf "link v%d->v%d dead: %s" ep.me l.peer why)
+          | None -> ());
+          close_backoff ep l
+        end)
       ep.links
 
   (* finish virtual round [ep.vr], wait out the synchronizer, enter the next
@@ -386,23 +420,26 @@ module Make (M : Sim.MESSAGE) = struct
     in
     go ()
 
-  let make_ops ep =
-    {
-      send = rel_send ep;
-      sync = (fun () -> advance_one ep);
-      wait = (fun () -> rel_wait ep);
-      sleep_until = rel_sleep_until ep;
-      wait_until = rel_wait_until ep;
-      round = (fun () -> ep.vr);
-      real_round = (fun () -> S.round ());
-      set_memory = (fun w -> S.set_memory (w + transport_words ep));
-      add_memory = (fun d -> S.add_memory d);
-      dead_ports =
-        (fun () ->
-          Array.to_list ep.links
-          |> List.filter_map (fun l ->
-                 match l.dead with Some why -> Some (l.port, why) | None -> None));
-    }
+  let transport ep : (module Sim.TRANSPORT with type msg = M.t) =
+    (module struct
+      type msg = M.t
+      type nonrec inbox = inbox
+
+      let send p m = rel_send ep p m
+      let sync () = advance_one ep
+      let wait () = rel_wait ep
+      let sleep_until r = rel_sleep_until ep r
+      let wait_until r = rel_wait_until ep r
+      let round () = ep.vr
+      let real_round () = S.round ()
+      let set_memory w = S.set_memory (w + transport_words ep)
+      let add_memory d = S.add_memory d
+
+      let dead_ports () =
+        Array.to_list ep.links
+        |> List.filter_map (fun l ->
+               match l.dead with Some why -> Some (l.port, why) | None -> None)
+    end)
 
   (* after the program returns: tell every live peer we are done and stick
      around until the notice is acknowledged (or the peer is itself gone) *)
@@ -436,7 +473,7 @@ module Make (M : Sim.MESSAGE) = struct
     in
     drive ()
 
-  let run ?max_rounds ?(edge_capacity = 1) ?(word_limit = 8) ?faults
+  let run ?max_rounds ?(edge_capacity = 1) ?(word_limit = 8) ?faults ?trace
       ?(config = default_config) g ~node =
     if config.ack_timeout < 1 || config.backoff < 1 || config.max_retries < 1 then
       invalid_arg "Reliable.run: config fields must be >= 1";
@@ -444,9 +481,9 @@ module Make (M : Sim.MESSAGE) = struct
     S.run ?max_rounds
       ~edge_capacity:(burst + 1) (* stream burst + one ack per real round *)
       ~word_limit:(word_limit + 2) (* frame header: tag + seq *)
-      ?faults g
+      ?faults ?trace g
       ~node:(fun (sctx : S.ctx) ->
-        let ep = make_ep config ~data_cap:edge_capacity ~word_limit sctx in
+        let ep = make_ep config ~data_cap:edge_capacity ~word_limit ?trace sctx in
         let rctx =
           {
             me = sctx.S.me;
@@ -455,6 +492,6 @@ module Make (M : Sim.MESSAGE) = struct
             weights = sctx.S.weights;
           }
         in
-        node (make_ops ep) rctx;
+        node (transport ep) rctx;
         close ep)
 end

@@ -6,8 +6,8 @@
     {e virtual} rounds with an end-of-round marker on every live link and only
     advances once it holds the matching marker from every live neighbour.
 
-    The payoff is that a protocol written against {!Make.ops} observes, in
-    virtual rounds, exactly the synchronous semantics of the raw simulator —
+    The payoff is that a protocol written against {!Sim.TRANSPORT} observes,
+    in virtual rounds, exactly the synchronous semantics of the raw simulator —
     same inboxes, same port order, same round arithmetic — even while the
     underlying network drops, duplicates, delays and reorders frames. As long
     as no link is declared dead, a computation over this layer is
@@ -43,47 +43,41 @@ module Make (M : Sim.MESSAGE) : sig
   type inbox = (int * M.t) list
   (** [(port, payload)] pairs, in port order, oldest round first. *)
 
-  (** The simulator's vertex operations, re-exposed in virtual-round terms.
-      [send]/[sync]/[wait]/[sleep_until]/[wait_until]/[round] have exactly the
-      semantics of their {!Sim.Make} counterparts, with "round" meaning
-      virtual round; a protocol body abstracted over this record runs
-      unchanged on either transport. *)
-  type ops = {
-    send : int -> M.t -> unit;
-        (** Reliable in-order delivery next virtual round. Raises
-            {!Sim.Congestion} beyond [edge_capacity] sends to one port in one
-            virtual round, {!Sim.Message_too_large} beyond [word_limit] — the
-            protocol-level CONGEST limits stay enforced even though the
-            transport's own frames ride on a wider physical budget. *)
-    sync : unit -> inbox;
-    wait : unit -> inbox;
-    sleep_until : int -> inbox;
-    wait_until : int -> inbox;
-    round : unit -> int;  (** current virtual round *)
-    real_round : unit -> int;  (** underlying simulator round, for diagnosis *)
-    set_memory : int -> unit;
-        (** Declares [w + transport buffers] words — retransmission queues are
-            honestly charged to the vertex's memory ledger. *)
-    add_memory : int -> unit;
-    dead_ports : unit -> (int * string) list;
-        (** Ports whose link was declared dead, with reasons. Empty in any
-            run the transport fully masked. *)
-  }
-
   val run :
     ?max_rounds:int ->
     ?edge_capacity:int ->
     ?word_limit:int ->
     ?faults:Fault.t ->
+    ?trace:Trace.t ->
     ?config:config ->
     Dgraph.Graph.t ->
-    node:(ops -> ctx -> unit) ->
+    node:((module Sim.TRANSPORT with type msg = M.t) -> ctx -> unit) ->
     Sim.report
-  (** Run a protocol over the reliable transport. [edge_capacity] and
-      [word_limit] are the {e protocol-level} CONGEST limits enforced on
-      [ops.send]; the underlying simulator runs with a constant-factor wider
-      budget ([edge_capacity + 2] frames of [word_limit + 2] words) to carry
-      stream headers, end-of-round markers and acks. [max_rounds] bounds
-      {e real} rounds. Metrics count real rounds/messages plus the transport's
-      retransmissions. *)
+  (** Run a protocol over the reliable transport. The node receives its
+      vertex's endpoint as a first-class {!Sim.TRANSPORT} module:
+      [send]/[sync]/[wait]/[sleep_until]/[wait_until]/[round] have exactly
+      the semantics of their {!Sim.Make} counterparts with "round" meaning
+      {e virtual} round ([real_round] reads the underlying simulator's
+      clock); [send] raises {!Sim.Congestion} beyond [edge_capacity] sends
+      to one port in one virtual round and {!Sim.Message_too_large} beyond
+      [word_limit] — the protocol-level CONGEST limits stay enforced even
+      though the transport's own frames ride on a wider physical budget;
+      [set_memory w] declares [w + transport buffers] words, charging
+      retransmission queues honestly to the vertex's ledger; [dead_ports]
+      lists links declared dead with reasons (empty in any run the transport
+      fully masked). A protocol body abstracted over the module runs
+      unchanged on either transport.
+
+      [edge_capacity] and [word_limit] are the {e protocol-level} limits;
+      the underlying simulator runs with a constant-factor wider budget
+      ([edge_capacity + 2] frames of [word_limit + 2] words) to carry stream
+      headers, end-of-round markers and acks. [max_rounds] bounds {e real}
+      rounds. Metrics count real rounds/messages plus the transport's
+      retransmissions.
+
+      With [?trace], besides the per-round ring fed by the underlying
+      simulator, every retransmission and link death logs a {!Trace.event}
+      and each backoff episode (first retransmission until the link's
+      outstanding window is acked, or until it dies) becomes a closed
+      ["backoff"] span in real rounds. *)
 end

@@ -34,6 +34,25 @@ let pp_outcome ppf = function
       d.stuck;
     Format.pp_print_string ppf "]"
 
+(** Vertex-side operations common to the raw simulator and the {!Reliable}
+    transport, so a protocol body can be written once against a first-class
+    [(module TRANSPORT with type msg = ...)] and run on either. *)
+module type TRANSPORT = sig
+  type msg
+  type inbox = (int * msg) list
+
+  val send : int -> msg -> unit
+  val sync : unit -> inbox
+  val wait : unit -> inbox
+  val sleep_until : int -> inbox
+  val wait_until : int -> inbox
+  val round : unit -> int
+  val real_round : unit -> int
+  val set_memory : int -> unit
+  val add_memory : int -> unit
+  val dead_ports : unit -> (int * string) list
+end
+
 module Make (M : MESSAGE) = struct
   type ctx = {
     me : int;
@@ -65,6 +84,22 @@ module Make (M : MESSAGE) = struct
   let add_memory d = Effect.perform (Add_memory d)
   let note_retransmit () = Effect.perform Note_retransmit
 
+  module Transport = struct
+    type msg = M.t
+    type nonrec inbox = inbox
+
+    let send = send
+    let sync = sync
+    let wait = wait
+    let sleep_until = sleep_until
+    let wait_until = wait_until
+    let round = round
+    let real_round = round
+    let set_memory = set_memory
+    let add_memory = add_memory
+    let dead_ports () = []
+  end
+
   type node_state = {
     id : int;
     mutable cont : (inbox, unit) Effect.Deep.continuation option;
@@ -78,11 +113,24 @@ module Make (M : MESSAGE) = struct
   }
 
   let run ?(max_rounds = 50_000_000) ?(edge_capacity = 1) ?(word_limit = 8)
-      ?faults g ~node =
+      ?faults ?trace g ~node =
     let open Dgraph in
     let n = Graph.n g in
     let metrics = Metrics.create ~n in
     let cur_round = ref 0 in
+    (* busiest directed edge of the round being executed; reset each round *)
+    let round_load = ref 0 in
+    (* per-round counter snapshots for the trace ring; hoisted so the
+       traced path allocates nothing per round either *)
+    let tr_m0 = ref 0 and tr_w0 = ref 0 and tr_f0 = ref 0 in
+    let tr_wake = ref 0 in
+    (match trace with
+    | None -> ()
+    | Some t ->
+      Trace.bind t
+        ~clock:(fun () -> !cur_round)
+        ~counters:(fun () ->
+          (metrics.Metrics.messages, metrics.Metrics.message_words)));
     (* pending.(v) collects (port at v, msg) to be delivered next round *)
     let pending = Array.make n [] in
     let touched = ref [] in
@@ -114,6 +162,20 @@ module Make (M : MESSAGE) = struct
           })
     in
     let current = ref states.(0) in
+    (* flush each edge's still-open active-round load sample, then report *)
+    let finish outcome =
+      Array.iter
+        (fun st ->
+          Array.iteri
+            (fun p stamp ->
+              if stamp >= 0 then begin
+                Histogram.add metrics.Metrics.edge_load st.sent_count.(p);
+                st.sent_stamp.(p) <- -1
+              end)
+            st.sent_stamp)
+        states;
+      { outcome; metrics }
+    in
     let apply_crashes r =
       Array.iter
         (fun st ->
@@ -144,6 +206,9 @@ module Make (M : MESSAGE) = struct
       if words > word_limit then
         raise (Message_too_large { vertex = st.id; words; round = !cur_round });
       if st.sent_stamp.(p) <> !cur_round then begin
+        (* the edge's previous active round is over: sample its load *)
+        if st.sent_stamp.(p) >= 0 then
+          Histogram.add metrics.Metrics.edge_load st.sent_count.(p);
         st.sent_stamp.(p) <- !cur_round;
         st.sent_count.(p) <- 0
       end;
@@ -152,8 +217,10 @@ module Make (M : MESSAGE) = struct
       st.sent_count.(p) <- st.sent_count.(p) + 1;
       if st.sent_count.(p) > metrics.Metrics.max_edge_load then
         metrics.Metrics.max_edge_load <- st.sent_count.(p);
+      if st.sent_count.(p) > !round_load then round_load := st.sent_count.(p);
       metrics.Metrics.messages <- metrics.Metrics.messages + 1;
       metrics.Metrics.message_words <- metrics.Metrics.message_words + words;
+      Histogram.add metrics.Metrics.message_size words;
       let u = (Graph.neighbors g st.id).(p) |> fst in
       let q =
         match Hashtbl.find_opt port_of (u, st.id) with
@@ -299,8 +366,23 @@ module Make (M : MESSAGE) = struct
     in
     (* Round 0: start every program (crash-at-0 vertices never run). *)
     apply_crashes 0;
-    Array.iter (fun st -> if not st.crashed then start st) states;
+    Array.iter
+      (fun st ->
+        if not st.crashed then begin
+          incr tr_wake;
+          start st
+        end)
+      states;
     deliver ();
+    (match trace with
+    | None -> ()
+    | Some t ->
+      Trace.record_round t ~round:0 ~messages:metrics.Metrics.messages
+        ~words:metrics.Metrics.message_words ~wakeups:!tr_wake
+        ~max_edge_load:!round_load
+        ~faults:
+          (metrics.Metrics.dropped + metrics.Metrics.duplicated
+          + metrics.Metrics.delayed));
     let finished st = st.cont = None && st.started in
     let runnable st r =
       st.cont <> None
@@ -313,7 +395,7 @@ module Make (M : MESSAGE) = struct
     in
     let rec loop () =
       let r = !cur_round + 1 in
-      if r > max_rounds then { outcome = Round_limit; metrics }
+      if r > max_rounds then finish Round_limit
       else begin
         apply_crashes r;
         flush_delayed r;
@@ -344,7 +426,7 @@ module Make (M : MESSAGE) = struct
           !delayed;
         if !all_done then begin
           metrics.Metrics.rounds <- !cur_round;
-          { outcome = Completed; metrics }
+          finish Completed
         end
         else if not !any_runnable then begin
           if !min_at < max_int then begin
@@ -359,15 +441,38 @@ module Make (M : MESSAGE) = struct
             in
             metrics.Metrics.rounds <- !cur_round;
             let sample = List.filteri (fun i _ -> i < 10) stuck in
-            { outcome = Deadlocked { total = List.length stuck; stuck = sample };
-              metrics }
+            finish
+              (Deadlocked { total = List.length stuck; stuck = sample })
           end
         end
         else begin
           cur_round := r;
           metrics.Metrics.rounds <- r;
-          Array.iter (fun st -> if runnable st r then resume st) states;
+          tr_m0 := metrics.Metrics.messages;
+          tr_w0 := metrics.Metrics.message_words;
+          tr_f0 :=
+            metrics.Metrics.dropped + metrics.Metrics.duplicated
+            + metrics.Metrics.delayed;
+          tr_wake := 0;
+          round_load := 0;
+          Array.iter
+            (fun st ->
+              if runnable st r then begin
+                incr tr_wake;
+                resume st
+              end)
+            states;
           deliver ();
+          (match trace with
+          | None -> ()
+          | Some t ->
+            Trace.record_round t ~round:r
+              ~messages:(metrics.Metrics.messages - !tr_m0)
+              ~words:(metrics.Metrics.message_words - !tr_w0)
+              ~wakeups:!tr_wake ~max_edge_load:!round_load
+              ~faults:
+                (metrics.Metrics.dropped + metrics.Metrics.duplicated
+                + metrics.Metrics.delayed - !tr_f0));
           loop ()
         end
       end

@@ -67,6 +67,38 @@ val pp_outcome : Format.formatter -> outcome -> unit
     each sampled vertex with its wake state, e.g.
     ["deadlocked: 42 vertices stuck (showing 10) [v3: wait; v7: wait_until 120; ...]"]. *)
 
+(** {1 Transport signature}
+
+    The vertex-side operations shared by the raw simulator and the
+    {!Reliable} layer. A protocol body written against a first-class
+    [(module TRANSPORT with type msg = ...)] runs unchanged on either
+    transport — {!Make.Transport} packages the raw simulator's effects,
+    {!Reliable.Make.run} hands the node an endpoint-specific package. *)
+module type TRANSPORT = sig
+  type msg
+  type inbox = (int * msg) list
+
+  val send : int -> msg -> unit
+  val sync : unit -> inbox
+  val wait : unit -> inbox
+  val sleep_until : int -> inbox
+  val wait_until : int -> inbox
+
+  val round : unit -> int
+  (** Protocol-visible round: real rounds on the raw simulator, virtual
+      rounds over {!Reliable}. *)
+
+  val real_round : unit -> int
+  (** Underlying simulator round ([= round] on the raw simulator). *)
+
+  val set_memory : int -> unit
+  val add_memory : int -> unit
+
+  val dead_ports : unit -> (int * string) list
+  (** Ports whose link was declared dead, with reasons; always empty on the
+      raw simulator (fault masking is {!Reliable}'s job). *)
+end
+
 module Make (M : MESSAGE) : sig
   type ctx = {
     me : int;  (** this vertex's id *)
@@ -113,6 +145,10 @@ module Make (M : MESSAGE) : sig
       {!Reliable} transport; the retransmitted message itself is still sent
       (and charged) through [send]. *)
 
+  module Transport : TRANSPORT with type msg = M.t
+  (** The operations above packaged as a first-class-module transport
+      ([real_round = round], [dead_ports () = []]). *)
+
   (** {1 Running} *)
 
   val run :
@@ -120,11 +156,18 @@ module Make (M : MESSAGE) : sig
     ?edge_capacity:int ->
     ?word_limit:int ->
     ?faults:Fault.t ->
+    ?trace:Trace.t ->
     Dgraph.Graph.t ->
     node:(ctx -> unit) ->
     report
   (** Execute the protocol on every vertex of the graph. Deterministic:
       vertices are scheduled in id order and inboxes are sorted; under a
       [?faults] plan the injected faults are a deterministic function of the
-      plan's spec (pass a freshly {!Fault.make}d plan — plans are stateful). *)
+      plan's spec (pass a freshly {!Fault.make}d plan — plans are stateful).
+
+      With [?trace] the run feeds the sink one {!Trace.round_sample} per
+      executed round and binds the trace clock to the real round counter, so
+      spans opened by the protocol measure real rounds. Without it the
+      scheduler's hot path performs no trace work at all — leaving tracing
+      off adds zero allocations per round. *)
 end

@@ -1,11 +1,12 @@
-type phase = { name : string; rounds : int; peak_memory : int }
+type phase = { name : string; detail : string; rounds : int; peak_memory : int }
 type t = { phases : phase list }
 
 let empty = { phases = [] }
 
-let add t ~name ~rounds ~peak_memory =
-  { phases = { name; rounds; peak_memory } :: t.phases }
+let add ?(detail = "") t ~name ~rounds ~peak_memory =
+  { phases = { name; detail; rounds; peak_memory } :: t.phases }
 
+let phases t = List.rev t.phases
 let total_rounds t = List.fold_left (fun acc p -> acc + p.rounds) 0 t.phases
 let peak_memory t = List.fold_left (fun acc p -> max acc p.peak_memory) 0 t.phases
 
@@ -13,7 +14,31 @@ let pp ppf t =
   Format.fprintf ppf "@[<v>";
   List.iter
     (fun p ->
-      Format.fprintf ppf "%-32s %10d rounds  %8d words@," p.name p.rounds p.peak_memory)
-    (List.rev t.phases);
-  Format.fprintf ppf "%-32s %10d rounds  %8d words@]" "TOTAL" (total_rounds t)
+      let label =
+        if p.detail = "" then p.name
+        else Printf.sprintf "%s (%s)" p.name p.detail
+      in
+      Format.fprintf ppf "%-40s %10d rounds  %8d words@," label p.rounds
+        p.peak_memory)
+    (phases t);
+  Format.fprintf ppf "%-40s %10d rounds  %8d words@]" "TOTAL" (total_rounds t)
     (peak_memory t)
+
+let to_json t =
+  let open Congest.Export.Json in
+  Arr
+    (List.map
+       (fun p ->
+         let fields =
+           [
+             ("name", Str p.name);
+             ("rounds", Int p.rounds);
+             ("peak_memory", Int p.peak_memory);
+           ]
+         in
+         let fields =
+           if p.detail = "" then fields
+           else fields @ [ ("detail", Str p.detail) ]
+         in
+         Obj fields)
+       (phases t))

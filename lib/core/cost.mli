@@ -19,17 +19,29 @@
 
 type phase = {
   name : string;
+      (** stable phase identifier — matches the span name a traced
+          construction emits for the same phase *)
+  detail : string;  (** run-dependent annotation (sizes, counts); may be "" *)
   rounds : int;
   peak_memory : int;  (** words at the most loaded vertex during the phase *)
 }
 
 type t = { phases : phase list }
+(** The [phases] field is newest-first (it is an accumulator); use the
+    {!phases} function for chronological order. *)
 
 val empty : t
-val add : t -> name:string -> rounds:int -> peak_memory:int -> t
+val add : ?detail:string -> t -> name:string -> rounds:int -> peak_memory:int -> t
+
+val phases : t -> phase list
+(** Chronological order. *)
+
 val total_rounds : t -> int
 val peak_memory : t -> int
 (** Max over phases (state is reused, not accumulated across phases). *)
 
 val pp : Format.formatter -> t -> unit
 (** Per-phase table. *)
+
+val to_json : t -> Congest.Export.Json.t
+(** Array of [{name; rounds; peak_memory; detail?}] in chronological order. *)

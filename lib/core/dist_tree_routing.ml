@@ -54,17 +54,10 @@ end
 module S = Congest.Sim.Make (M)
 module R = Congest.Reliable.Make (M)
 
-(* The node program is written against this record so the same protocol body
-   runs bit-identically on the raw synchronous simulator and on the reliable
-   transport's virtual rounds. *)
-type ops = {
-  op_send : int -> msg -> unit;
-  op_wait : unit -> (int * msg) list;
-  op_wait_until : int -> (int * msg) list;
-  op_round : unit -> int;
-  op_set_memory : int -> unit;
-  op_dead_ports : unit -> (int * string) list;
-}
+(* The node program is written against the shared transport signature, so
+   the same protocol body runs bit-identically on the raw synchronous
+   simulator and on the reliable transport's virtual rounds. *)
+type transport = (module Congest.Sim.TRANSPORT with type msg = msg)
 
 type outcome = {
   scheme : Tz.Tree_routing.scheme;
@@ -99,7 +92,7 @@ type action =
   | A_finish
   | A_params_check
 
-let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config g ~tree =
+let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config ?trace g ~tree =
   let use_reliable =
     match reliable with Some b -> b | None -> Option.is_some faults
   in
@@ -132,13 +125,33 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config g ~tree =
   let fail v s = failures := Printf.sprintf "v%d: %s" v s :: !failures in
   let u_count_out = ref 1 and dz_out = ref 0 in
 
-  let node (o : ops) ~me ~(neighbors : int array) =
+  let node ((module T) : transport) ~me ~(neighbors : int array) =
     let deg = Array.length neighbors in
     let is_root = me = root in
     let my_tree = in_tree.(me) in
     let my_u = in_u.(me) in
     let local_root_flag = my_tree && (is_root || my_u) in
     let myrng = Random.State.make [| seeds.(me) |] in
+    (* phase markers, root only: the run's rounds get named after the
+       paper's algorithms so per-phase breakdowns line up with the text *)
+    let phase name =
+      if is_root then
+        match trace with Some tr -> Congest.Trace.phase tr name | None -> ()
+    in
+    let phase_done () =
+      if is_root then
+        match trace with Some tr -> Congest.Trace.phase_end tr | None -> ()
+    in
+    let sub name =
+      if is_root then
+        match trace with
+        | Some tr -> Congest.Trace.begin_span tr name
+        | None -> ()
+    in
+    let sub_end () =
+      if is_root then
+        match trace with Some tr -> Congest.Trace.end_span tr | None -> ()
+    in
     (* ---- state (O(log n) words, declared to the ledger) ---- *)
     let local_children = ref 0
     and virtual_children = ref 0
@@ -209,22 +222,22 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config g ~tree =
         + (2 * List.length !lights)
         + (2 * !collect3_len)
       in
-      o.op_set_memory words
+      T.set_memory words
     in
-    let send_all m = for p = 0 to deg - 1 do o.op_send p m done in
+    let send_all m = for p = 0 to deg - 1 do T.send p m done in
     (* tree-downward: every port except the tree parent *)
     let send_down m =
       for p = 0 to deg - 1 do
-        if p <> tp_port.(me) then o.op_send p m
+        if p <> tp_port.(me) then T.send p m
       done
     in
     (* bfs-downward: every port except the bfs parent *)
     let bc_send_down m =
       for p = 0 to deg - 1 do
-        if p <> !bfs_parent_port then o.op_send p m
+        if p <> !bfs_parent_port then T.send p m
       done
     in
-    let send_parent m = o.op_send tp_port.(me) m in
+    let send_parent m = T.send tp_port.(me) m in
     let handle_payload pl =
       if local_root_flag then begin
         match pl with
@@ -281,7 +294,7 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config g ~tree =
         (* local roots already reported via Size_to_parent at A_size_up *)
         if (not is_root) && not my_u then
           send_parent (Global_size { s = !my_global_s; id = me });
-        if !heavy_port >= 0 then o.op_send !heavy_port You_are_heavy
+        if !heavy_port >= 0 then T.send !heavy_port You_are_heavy
       end
     in
     let build_schedule () =
@@ -335,7 +348,7 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config g ~tree =
         if is_u then incr virtual_children else incr local_children
       | Hello2 ->
         incr assign_counter;
-        o.op_send port (Index { j = !assign_counter; pid = me })
+        T.send port (Index { j = !assign_counter; pid = me })
       | Index { j; pid } ->
         if port = tp_port.(me) then begin
           my_index := j;
@@ -345,11 +358,11 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config g ~tree =
         if !bfs_parent_port < 0 && not is_root then begin
           bfs_parent_port := port;
           bfs_depth := depth + 1;
-          o.op_send port Bfs_adopt;
+          T.send port Bfs_adopt;
           for p = 0 to deg - 1 do
-            if p <> port then o.op_send p (Bfs { depth = !bfs_depth })
+            if p <> port then T.send p (Bfs { depth = !bfs_depth })
           done;
-          schedule (o.op_round () + 3) A_bfs_echo_check
+          schedule (T.round () + 3) A_bfs_echo_check
         end
       | Bfs_adopt -> incr bfs_children
       | Bfs_echo { maxd; ucount } ->
@@ -361,7 +374,7 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config g ~tree =
           if is_root then begin
             dz := !echo_maxd;
             usize := !echo_ucount + 1;
-            t0 := o.op_round () + !dz + 4;
+            t0 := T.round () + !dz + 4;
             params_known := true;
             u_count_out := !usize;
             dz_out := !dz;
@@ -369,7 +382,7 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config g ~tree =
             build_schedule ()
           end
           else
-            o.op_send !bfs_parent_port
+            T.send !bfs_parent_port
               (Bfs_echo
                  { maxd = max !echo_maxd !bfs_depth; ucount = !echo_ucount + my_bit })
         end
@@ -440,12 +453,12 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config g ~tree =
           Queue.add Final_end streamq
         end
       | Prefix { j; flag; s; width } ->
-        if !prefix_scan_round <> o.op_round () then begin
-          prefix_scan_round := o.op_round ();
+        if !prefix_scan_round <> T.round () then begin
+          prefix_scan_round := T.round ();
           scan_j := -1
         end;
         if !scan_j >= 0 && j > !scan_j && j <= !scan_j + width then
-          o.op_send port (Prefix_add { s = !scan_s });
+          T.send port (Prefix_add { s = !scan_s });
         if flag then begin
           scan_j := j;
           scan_s := s
@@ -478,7 +491,7 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config g ~tree =
       | A_bfs_start ->
         if is_root then begin
           send_all (Bfs { depth = 0 });
-          schedule (o.op_round () + 3) A_bfs_echo_check
+          schedule (T.round () + 3) A_bfs_echo_check
         end
       | A_bfs_echo_check ->
         if !bfs_children = 0 then begin
@@ -487,13 +500,14 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config g ~tree =
             (* no neighbours at all: degenerate single-vertex network *)
             dz := 0;
             usize := 1;
-            t0 := o.op_round () + 4;
+            t0 := T.round () + 4;
             params_known := true;
             build_schedule ()
           end
-          else o.op_send !bfs_parent_port (Bfs_echo { maxd = !bfs_depth; ucount = my_bit })
+          else T.send !bfs_parent_port (Bfs_echo { maxd = !bfs_depth; ucount = my_bit })
         end
       | A_start_waves ->
+        phase "stage1: local sizes";
         if local_root_flag then send_down (Local_root { w = me });
         if my_tree && !local_children = 0 then begin
           if local_root_flag then s_cur := 1
@@ -501,13 +515,15 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config g ~tree =
         end
       | A_insert pls -> List.iter insert_payload pls
       | A_alg1_start i ->
+        if i = 0 then phase "alg1: pointer jumping";
+        sub (Printf.sprintf "alg1 iter %d" i);
         cur_iter := i;
         s_add := 0;
         got_anc := false;
         a_next := -1;
         if local_root_flag then begin
           let pl = P_size { origin = me; anc = ancestors.(i); s = !s_cur; iter = i } in
-          schedule (o.op_round () + stagger_window (2 * !usize)) (A_insert [ pl ])
+          schedule (T.round () + stagger_window (2 * !usize)) (A_insert [ pl ])
         end
       | A_alg1_end i ->
         if local_root_flag then begin
@@ -518,13 +534,19 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config g ~tree =
             Printf.eprintf "[alg1] v%d i=%d a_i=%d a_next=%d s_add=%d s=%d\n%!" me i
               ancestors.(i) ancestors.(i + 1) !s_add !s_cur
         end;
+        sub_end ();
         cur_iter := -1
       | A_size_up ->
+        phase "stage1: global sizes";
         global_phase := true;
         if my_u then send_parent (Size_to_parent { s = !s_cur; id = me })
       | A_global_trigger -> try_complete_global ()
-      | A_wave1 -> if local_root_flag then Queue.add Light_end streamq
+      | A_wave1 ->
+        phase "stage2: light lists";
+        if local_root_flag then Queue.add Light_end streamq
       | A_alg3_start i ->
+        if i = 0 then phase "alg3: pointer jumping";
+        sub (Printf.sprintf "alg3 iter %d" i);
         cur_iter := i;
         collect3 := [];
         collect3_len := 0;
@@ -539,7 +561,7 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config g ~tree =
             items @ [ P_light_end { origin = me; count = List.length !lights; iter = i } ]
           in
           schedule
-            (o.op_round () + stagger_window (2 * !usize * (llog + 2)))
+            (T.round () + stagger_window (2 * !usize * (llog + 2)))
             (A_insert pls)
         end
       | A_alg3_end i ->
@@ -549,8 +571,10 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config g ~tree =
         end;
         collect3 := [];
         collect3_len := 0;
+        sub_end ();
         cur_iter := -1
       | A_wave2 ->
+        phase "stage2: distribution";
         if local_root_flag then begin
           List.iter
             (fun (t, h) -> Queue.add (Final_item { tail = t; head = h }) streamq)
@@ -558,6 +582,7 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config g ~tree =
           Queue.add Final_end streamq
         end
       | A_alg5 i ->
+        if i = 0 then phase "alg5: prefix sums";
         if my_tree && not is_root then begin
           if i = 0 then prefix_cur := !my_global_s;
           let j = !my_index in
@@ -565,26 +590,31 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config g ~tree =
           send_parent (Prefix { j; flag; s = !prefix_cur; width = 1 lsl i })
         end
       | A_dfs ->
+        phase "alg4: dfs wave";
         if local_root_flag then begin
           range_a := 1;
           range_b := !s_cur;
           send_down (Range_start { a = 1 })
         end
       | A_alg6_start i ->
+        if i = 0 then phase "alg6: pointer jumping";
+        sub (Printf.sprintf "alg6 iter %d" i);
         cur_iter := i;
         got_anc := false;
         q_add := 0;
         if local_root_flag then begin
           let pl = P_shift { origin = me; q = !q_cur; iter = i } in
-          schedule (o.op_round () + stagger_window (2 * !usize)) (A_insert [ pl ])
+          schedule (T.round () + stagger_window (2 * !usize)) (A_insert [ pl ])
         end
       | A_alg6_end i ->
         if local_root_flag then begin
           if ancestors.(i) >= 0 && not !got_anc then fail me "alg6: ancestor msg missing";
           q_cur := !q_cur + !q_add
         end;
+        sub_end ();
         cur_iter := -1
       | A_shift ->
+        phase "final shift";
         if local_root_flag then begin
           final_entry := !range_a + !q_cur;
           final_exit := !range_b + !q_cur;
@@ -596,7 +626,7 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config g ~tree =
            forever *)
         if not !params_known then begin
           fail me
-            (Printf.sprintf "setup timed out: no Params by round %d" (o.op_round ()));
+            (Printf.sprintf "setup timed out: no Params by round %d" (T.round ()));
           finished := true
         end
       | A_finish ->
@@ -614,15 +644,16 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config g ~tree =
             Some
               { Tz.Tree_routing.target = me; target_entry = !final_entry; lights = !lights }
         end;
+        phase_done ();
         finished := true
     in
     let relay () =
-      let r = o.op_round () in
+      let r = T.round () in
       if !last_relay < r then begin
         last_relay := r;
         if not (Queue.is_empty upq) then begin
           let pl = Queue.pop upq in
-          if is_root then turnaround pl else o.op_send !bfs_parent_port (Bc_up pl)
+          if is_root then turnaround pl else T.send !bfs_parent_port (Bc_up pl)
         end;
         if not (Queue.is_empty downq) then bc_send_down (Bc_down (Queue.pop downq));
         if not (Queue.is_empty streamq) then send_down (Queue.pop streamq)
@@ -644,9 +675,10 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config g ~tree =
               finished := true
             end
           end)
-        (o.op_dead_ports ())
+        (T.dead_ports ())
     in
     (* round 0: children announce; schedule fixed early actions *)
+    phase "setup";
     if my_tree && not is_root then send_parent (Hello { is_u = my_u });
     schedule 1 A_hello2;
     schedule 4 A_bfs_start;
@@ -655,17 +687,17 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config g ~tree =
     let next_deadline () =
       let a = match !agenda with [] -> max_int | (r, _) :: _ -> r in
       if Queue.is_empty upq && Queue.is_empty downq && Queue.is_empty streamq then a
-      else min a (o.op_round () + 1)
+      else min a (T.round () + 1)
     in
     let rec loop () =
       if not !finished then begin
         let dl = next_deadline () in
-        let inbox = if dl = max_int then o.op_wait () else o.op_wait_until dl in
+        let inbox = if dl = max_int then T.wait () else T.wait_until dl in
         List.iter handle inbox;
         check_dead ();
         let rec run_due () =
           match !agenda with
-          | (r, a) :: rest when r <= o.op_round () ->
+          | (r, a) :: rest when r <= T.round () ->
             agenda := rest;
             run_action a;
             run_due ()
@@ -681,31 +713,13 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config g ~tree =
   in
   let report =
     if use_reliable then
-      R.run ~edge_capacity:2 ?faults ?config g ~node:(fun (rops : R.ops) rctx ->
-          let o =
-            {
-              op_send = rops.R.send;
-              op_wait = rops.R.wait;
-              op_wait_until = rops.R.wait_until;
-              op_round = rops.R.round;
-              op_set_memory = rops.R.set_memory;
-              op_dead_ports = rops.R.dead_ports;
-            }
-          in
-          node o ~me:rctx.R.me ~neighbors:rctx.R.neighbors)
+      R.run ~edge_capacity:2 ?faults ?trace ?config g ~node:(fun t rctx ->
+          node t ~me:rctx.R.me ~neighbors:rctx.R.neighbors)
     else
-      S.run ~edge_capacity:2 ?faults g ~node:(fun (sctx : S.ctx) ->
-          let o =
-            {
-              op_send = S.send;
-              op_wait = S.wait;
-              op_wait_until = S.wait_until;
-              op_round = S.round;
-              op_set_memory = S.set_memory;
-              op_dead_ports = (fun () -> []);
-            }
-          in
-          node o ~me:sctx.S.me ~neighbors:sctx.S.neighbors)
+      S.run ~edge_capacity:2 ?faults ?trace g ~node:(fun (sctx : S.ctx) ->
+          node
+            (module S.Transport : Congest.Sim.TRANSPORT with type msg = msg)
+            ~me:sctx.S.me ~neighbors:sctx.S.neighbors)
   in
   (match report.Congest.Sim.outcome with
   | Congest.Sim.Completed -> ()

@@ -43,6 +43,7 @@ val run :
   ?faults:Congest.Fault.t ->
   ?reliable:bool ->
   ?config:Congest.Reliable.config ->
+  ?trace:Congest.Trace.t ->
   Dgraph.Graph.t ->
   tree:Dgraph.Tree.t ->
   outcome
@@ -66,6 +67,12 @@ val run :
     per-vertex reasons in [failures], and the run terminates — it never
     deadlocks waiting on a crashed peer. [config] tunes the transport's
     retransmission timeouts.
+
+    [trace] attaches an observability trace: the root emits one phase span
+    per protocol stage ("setup", "stage1: local sizes", "alg1: pointer
+    jumping", …) with per-iteration sub-spans inside the pointer-jumping
+    phases, and the simulator records per-round samples into the trace ring
+    (see {!Congest.Trace}).
 
     @raise Invalid_argument if the tree uses non-edges of the graph *)
 

@@ -1,6 +1,25 @@
 open Dgraph
 open Hopsets
 
+module Params = struct
+  type t = {
+    epsilon : float;
+    lambda : int;
+    beta : int option;
+    b : int option;
+  }
+
+  let default = { epsilon = 0.05; lambda = 3; beta = None; b = None }
+
+  let pp ppf p =
+    let pp_opt ppf = function
+      | None -> Format.pp_print_string ppf "auto"
+      | Some v -> Format.pp_print_int ppf v
+    in
+    Format.fprintf ppf "epsilon=%g lambda=%d beta=%a b=%a" p.epsilon p.lambda
+      pp_opt p.beta pp_opt p.b
+end
+
 type t = {
   k : int;
   epsilon : float;
@@ -16,6 +35,7 @@ type t = {
   pivot_estimates : (int * (float array * int array)) list;
   peak_memory : int;
   avg_memory : float;
+  per_vertex_memory : int array;
 }
 
 let k t = t.k
@@ -36,6 +56,7 @@ let max_table_words t = Tz.Graph_routing.max_table_words t.router
 let max_label_words t = Tz.Graph_routing.max_label_words t.router
 let peak_memory_words t = t.peak_memory
 let avg_memory_words t = t.avg_memory
+let per_vertex_memory t = Array.copy t.per_vertex_memory
 
 (* Extract the approximate-cluster tree rooted at [w] from per-vertex
    candidate assignments (dist, parent). Candidates follow strictly
@@ -73,16 +94,35 @@ let tree_of_candidates n w ~member ~dist ~parent g =
   ignore dist;
   Tree.of_parents ~root:w ~parent:par ~wparent:wpar
 
-let build ~rng ~k ?(epsilon = 0.05) ?(lambda = 3) ?beta ?b g =
+let build ~rng ~k ?(params = Params.default) ?trace g =
   if k < 2 then invalid_arg "Scheme.build: k >= 2 required";
+  let epsilon = params.Params.epsilon and lambda = params.Params.lambda in
   let n = Graph.n g in
   let nf = float_of_int n in
-  let beta = match beta with Some b -> b | None -> max 8 (2 * lambda) in
+  let beta =
+    match params.Params.beta with Some b -> b | None -> max 8 (2 * lambda)
+  in
   let d_est = Diameter.hop_diameter_estimate g in
   let hierarchy = Tz.Hierarchy.build ~rng ~k g in
   let ih = max 1 (k / 2) in
   let cost = ref Cost.empty in
-  let charge name rounds mem = cost := Cost.add !cost ~name ~rounds ~peak_memory:mem in
+  (* cumulative charged rounds — the trace clock for this construction, so
+     the closed spans it emits partition [0, Cost.total_rounds) exactly like
+     the cost phases do *)
+  let cum = ref 0 in
+  (match trace with
+  | None -> ()
+  | Some tr ->
+    Congest.Trace.bind tr ~clock:(fun () -> !cum) ~counters:(fun () -> (0, 0)));
+  let charge ?(detail = "") name rounds mem =
+    cost := Cost.add !cost ~detail ~name ~rounds ~peak_memory:mem;
+    (match trace with
+    | None -> ()
+    | Some tr ->
+      Congest.Trace.add_closed_span tr ~detail ~phase:true ~peak_memory:mem
+        ~name ~start_round:!cum ~end_round:(!cum + rounds) ());
+    cum := !cum + rounds
+  in
   let tables : (int, Tz.Tree_routing.table) Hashtbl.t array =
     Array.init n (fun _ -> Hashtbl.create 8)
   in
@@ -118,14 +158,15 @@ let build ~rng ~k ?(epsilon = 0.05) ?(lambda = 3) ?beta ?b g =
            (ceil (4.0 *. (nf ** (float_of_int (i + 1) /. float_of_int k)) *. log nf)))
     in
     charge
-      (Printf.sprintf "exact clusters level %d (|owners|=%d)" i (List.length owners))
+      ~detail:(Printf.sprintf "|owners|=%d" (List.length owners))
+      (Printf.sprintf "exact clusters level %d" i)
       (depth + congestion)
       (2 * congestion)
   done;
   (* ---- virtual graph and hopset ---- *)
   let members = Tz.Hierarchy.members hierarchy ih in
   let b =
-    match b with
+    match params.Params.b with
     | Some b ->
       if b < 1 then invalid_arg "Scheme.build: b >= 1 required";
       b
@@ -139,7 +180,9 @@ let build ~rng ~k ?(epsilon = 0.05) ?(lambda = 3) ?beta ?b g =
   let hopset = Construct.tz_hopset ~rng ~lambda vg in
   let alpha = Hopset.max_out_degree hopset in
   charge
-    (Printf.sprintf "hopset (m=%d, |H|=%d, alpha=%d)" m (Hopset.size hopset) alpha)
+    ~detail:
+      (Printf.sprintf "m=%d |H|=%d alpha=%d" m (Hopset.size hopset) alpha)
+    "hopset"
     (lambda * ((m * alpha) + b + d_est))
     (3 * alpha);
   (* ---- approximate pivot distances for high levels ---- *)
@@ -269,7 +312,8 @@ let build ~rng ~k ?(epsilon = 0.05) ?(lambda = 3) ?beta ?b g =
       owners;
     let congestion = max 1 (Array.fold_left max 0 level_membership) in
     charge
-      (Printf.sprintf "approx clusters level %d (|owners|=%d)" i (List.length owners))
+      ~detail:(Printf.sprintf "|owners|=%d" (List.length owners))
+      (Printf.sprintf "approx clusters level %d" i)
       (beta * ((((m * alpha) + b) * congestion / max 1 m) + b + d_est))
       (2 * congestion)
   done;
@@ -304,7 +348,8 @@ let build ~rng ~k ?(epsilon = 0.05) ?(lambda = 3) ?beta ?b g =
   (* tree-routing construction charge: Theorem 2 multi-tree form *)
   let s_max = max 1 (Array.fold_left max 0 membership) in
   charge
-    (Printf.sprintf "tree routing schemes (s=%d)" s_max)
+    ~detail:(Printf.sprintf "s=%d" s_max)
+    "tree routing schemes"
     (int_of_float (ceil (sqrt (float_of_int (s_max * n)) *. log nf)) + d_est)
     (s_max * 2);
   (* ---- final memory audit ---- *)
@@ -336,4 +381,17 @@ let build ~rng ~k ?(epsilon = 0.05) ?(lambda = 3) ?beta ?b g =
     pivot_estimates = !pivot_estimates;
     peak_memory = peak;
     avg_memory = avg;
+    per_vertex_memory = words;
   }
+
+let build_legacy ~rng ~k ?epsilon ?lambda ?beta ?b g =
+  let d = Params.default in
+  let params =
+    {
+      Params.epsilon = Option.value ~default:d.Params.epsilon epsilon;
+      lambda = Option.value ~default:d.Params.lambda lambda;
+      beta;
+      b;
+    }
+  in
+  build ~rng ~k ~params g

@@ -30,7 +30,44 @@
 
 type t
 
+(** Construction parameters, replacing the former optional-argument list of
+    [build]. Extend by functional update of {!Params.default}:
+    [{ Params.default with epsilon = 0.1 }]. *)
+module Params : sig
+  type t = {
+    epsilon : float;  (** approximation slack; default 0.05 *)
+    lambda : int;  (** hopset hierarchy depth; default 3 *)
+    beta : int option;
+        (** hop bound used in explorations; [None] = [max 8 (2·lambda)] *)
+    b : int option;
+        (** virtual-edge hop bound [B]; [None] = [4·n^{⌈k/2⌉/k}·ln n]
+            capped at [n−1]. Forcing it below the hop diameter exercises the
+            hop-bounded machinery (hopset jumps and path recovery) that the
+            default hides on small inputs; explorations then reach only
+            within [≈ β·B] hops, so [β·b] must cover the hop diameter for
+            full delivery. *)
+  }
+
+  val default : t
+  val pp : Format.formatter -> t -> unit
+end
+
 val build :
+  rng:Random.State.t ->
+  k:int ->
+  ?params:Params.t ->
+  ?trace:Congest.Trace.t ->
+  Dgraph.Graph.t ->
+  t
+(** Build the scheme with the given {!Params} (default {!Params.default}).
+
+    With [?trace], every {!Cost} phase is mirrored as a closed phase span:
+    same [name], same rounds, on a clock of cumulative charged rounds — so
+    [Cost.phases] and [Trace.phases] line up one-to-one and
+    [Trace.phase_breakdown ~total_rounds:(Cost.total_rounds (cost t))] has
+    no unattributed rows. *)
+
+val build_legacy :
   rng:Random.State.t ->
   k:int ->
   ?epsilon:float ->
@@ -39,21 +76,20 @@ val build :
   ?b:int ->
   Dgraph.Graph.t ->
   t
-(** [epsilon] defaults to 0.05, [lambda] (hopset hierarchy depth) to 3,
-    [beta] (hop bound used in explorations) to [max 8 (2·lambda)]. [b]
-    overrides the virtual-edge hop bound [B] (default
-    [4·n^{⌈k/2⌉/k}·ln n], capped at [n−1]); forcing it below the hop
-    diameter exercises the hop-bounded machinery (hopset jumps and path
-    recovery) that the default hides on small inputs. Explorations then
-    reach only within [≈ β·B] hops, so [β·b] must cover the hop diameter
-    for full delivery. *)
+[@@ocaml.deprecated
+  "use Scheme.build ~params:{ Scheme.Params.default with ... } instead; \
+   build_legacy will be removed after one release"]
+(** Thin wrapper over {!build} keeping the pre-{!Params} calling convention
+    alive for one release. *)
 
 (** {1 Routing} *)
 
 val k : t -> int
 val router : t -> Tz.Graph_routing.t
-val route : t -> src:int -> dst:int -> (int list, string) result
-val route_weight : Dgraph.Graph.t -> t -> src:int -> dst:int -> (float, string) result
+val route : t -> src:int -> dst:int -> (int list, Tz.Routing_error.t) result
+
+val route_weight :
+  Dgraph.Graph.t -> t -> src:int -> dst:int -> (float, Tz.Routing_error.t) result
 
 (** {1 Measured quantities (Table 1 columns)} *)
 
@@ -68,6 +104,10 @@ val peak_memory_words : t -> int
     per vertex" column. *)
 
 val avg_memory_words : t -> float
+
+val per_vertex_memory : t -> int array
+(** Final-state words stored by each vertex (tables + labels + hopset +
+    bookkeeping) — feed to {!Congest.Histogram.of_array} for percentiles. *)
 
 (** {1 Introspection for tests and experiments} *)
 

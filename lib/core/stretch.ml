@@ -57,7 +57,9 @@ let all_pairs_max g ~route =
          if s <> d && exact.(d) < infinity then begin
            match route ~src:s ~dst:d with
            | Error e ->
-             result := Error (Printf.sprintf "%d->%d: %s" s d e);
+             result :=
+               Error
+                 (Printf.sprintf "%d->%d: %s" s d (Tz.Routing_error.to_string e));
              raise Exit
            | Ok path -> worst := max !worst (Sssp.path_weight g path /. exact.(d))
          end

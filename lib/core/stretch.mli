@@ -12,7 +12,7 @@ val evaluate :
   rng:Random.State.t ->
   ?pairs:int ->
   Dgraph.Graph.t ->
-  route:(src:int -> dst:int -> (int list, string) result) ->
+  route:(src:int -> dst:int -> (int list, Tz.Routing_error.t) result) ->
   stats
 (** Sample [pairs] (default 500) random ordered pairs, route each, and
     compare the routed path weight to the Dijkstra distance. Pairs that fail
@@ -21,7 +21,7 @@ val evaluate :
 
 val all_pairs_max :
   Dgraph.Graph.t ->
-  route:(src:int -> dst:int -> (int list, string) result) ->
+  route:(src:int -> dst:int -> (int list, Tz.Routing_error.t) result) ->
   (float, string) result
 (** Exhaustive maximum stretch; [Error] on the first undelivered pair. For
     small graphs in tests. *)

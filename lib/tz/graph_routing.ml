@@ -71,28 +71,32 @@ let max_label_words t =
   Array.fold_left max 0 (Array.init (Array.length t.labels) (label_words t))
 
 let route t ~src ~dst =
-  if src = dst then Ok [ src ]
+  let n = Array.length t.tables in
+  if src < 0 || src >= n then Error (Routing_error.Bad_vertex src)
+  else if dst < 0 || dst >= n then Error (Routing_error.Bad_vertex dst)
+  else if src = dst then Ok [ src ]
   else begin
     (* pick the first label entry whose cluster also contains the source *)
     let rec pick = function
-      | [] -> Error "no common cluster (graph disconnected?)"
+      | [] -> Error Routing_error.Unreachable
       | e :: rest ->
         if Hashtbl.mem t.tables.(src) e.owner then Ok e else pick rest
     in
     match pick t.labels.(dst) with
     | Error _ as e -> e
     | Ok { owner; tree_label } ->
-      let limit = 4 * Array.length t.tables in
+      let limit = 4 * n in
       let rec go v acc steps =
-        if steps > limit then Error "forwarding loop"
+        if steps > limit then Error (Routing_error.Ttl_exceeded limit)
         else
           match Hashtbl.find_opt t.tables.(v) owner with
-          | None ->
-            Error (Printf.sprintf "vertex %d left cluster of %d" v owner)
+          | None -> Error (Routing_error.No_table { vertex = v; owner })
           | Some tab -> (
             match Tree_routing.step ~me:v tab tree_label with
             | Tree_routing.Arrived -> Ok (List.rev (v :: acc))
-            | Tree_routing.Forward next -> go next (v :: acc) (steps + 1))
+            | Tree_routing.Forward next ->
+              if next < 0 || next >= n then Error (Routing_error.Bad_port next)
+              else go next (v :: acc) (steps + 1))
       in
       go src [] 0
   end

@@ -41,9 +41,10 @@ val label_words : t -> int -> int
 val max_table_words : t -> int
 val max_label_words : t -> int
 
-val route : t -> src:int -> dst:int -> (int list, string) result
+val route : t -> src:int -> dst:int -> (int list, Routing_error.t) result
 (** Hop-by-hop forwarding; the returned path starts at [src] and ends at
-    [dst]. *)
+    [dst]. Failures are typed — render with {!Routing_error.to_string}. *)
 
-val route_weight : Dgraph.Graph.t -> t -> src:int -> dst:int -> (float, string) result
+val route_weight :
+  Dgraph.Graph.t -> t -> src:int -> dst:int -> (float, Routing_error.t) result
 (** Total weight of the routed path. *)

@@ -1,0 +1,19 @@
+type t =
+  | Unreachable
+  | Bad_vertex of int
+  | Bad_port of int
+  | No_table of { vertex : int; owner : int }
+  | Ttl_exceeded of int
+
+let to_string = function
+  | Unreachable -> "no common cluster (graph disconnected?)"
+  | Bad_vertex v -> Printf.sprintf "vertex %d outside the network" v
+  | Bad_port p ->
+    Printf.sprintf "forwarded to invalid vertex %d (corrupt table?)" p
+  | No_table { vertex; owner } ->
+    Printf.sprintf "vertex %d left cluster of %d" vertex owner
+  | Ttl_exceeded limit -> Printf.sprintf "forwarding loop (ttl %d exceeded)" limit
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let equal (a : t) (b : t) = a = b

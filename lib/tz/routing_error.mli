@@ -1,0 +1,22 @@
+(** Typed failures of hop-by-hop routing.
+
+    {!Graph_routing.route} (and the general-graph scheme's router built on
+    it) report failures as values of this variant instead of ad-hoc strings,
+    so callers can branch on the cause; {!to_string} renders the same
+    human-readable messages the old string errors carried. *)
+
+type t =
+  | Unreachable
+      (** no label entry's cluster contains the source — on a correct
+          scheme this only happens across disconnected components *)
+  | Bad_vertex of int  (** endpoint outside [0, n) *)
+  | Bad_port of int
+      (** a table forwarded to a vertex id outside [0, n) — corrupt state *)
+  | No_table of { vertex : int; owner : int }
+      (** forwarding reached a vertex with no table for the chosen cluster *)
+  | Ttl_exceeded of int
+      (** more forwarding steps than the loop-detection budget *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

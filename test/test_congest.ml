@@ -344,12 +344,12 @@ let test_wait_until_race () =
 
 let test_reliable_congestion () =
   let g = Gen.ring ~rng:(rng ()) ~n:2 () in
-  let node (o : R.ops) (ctx : R.ctx) =
+  let node ((module T) : (module CS.TRANSPORT with type msg = int)) (ctx : R.ctx) =
     if ctx.me = 0 then begin
-      o.R.send 0 1;
-      o.R.send 0 2
+      T.send 0 1;
+      T.send 0 2
     end
-    else ignore (o.R.wait ())
+    else ignore (T.wait ())
   in
   Alcotest.check_raises "congestion through reliable"
     (Congest.Sim.Congestion { vertex = 0; port = 0; round = 0 })
@@ -363,8 +363,8 @@ let test_reliable_word_limit () =
   end in
   let module RW = Congest.Reliable.Make (Wide) in
   let g = Gen.ring ~rng:(rng ()) ~n:2 () in
-  let node (o : RW.ops) (ctx : RW.ctx) =
-    if ctx.me = 0 then o.RW.send 0 () else ignore (o.RW.wait ())
+  let node ((module T) : (module CS.TRANSPORT with type msg = unit)) (ctx : RW.ctx) =
+    if ctx.me = 0 then T.send 0 () else ignore (T.wait ())
   in
   Alcotest.check_raises "too large through reliable"
     (Congest.Sim.Message_too_large { vertex = 0; words = 100; round = 0 })

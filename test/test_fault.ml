@@ -118,20 +118,20 @@ let test_reliable_stream () =
   let g = Gen.ring ~rng:(rng ()) ~n:2 () in
   let tokens = 25 in
   let got = ref [] in
-  let node (o : R.ops) (ctx : R.ctx) =
+  let node ((module T) : (module CS.TRANSPORT with type msg = int)) (ctx : R.ctx) =
     if ctx.me = 0 then
       for i = 1 to tokens do
-        o.R.send 0 i;
-        ignore (o.R.sync ())
+        T.send 0 i;
+        ignore (T.sync ())
       done
     else begin
       let acc = ref [] in
       while List.length !acc < tokens do
-        let inbox = o.R.wait () in
+        let inbox = T.wait () in
         acc := !acc @ List.map snd inbox
       done;
       got := !acc;
-      Alcotest.(check (list int)) "no dead links" [] (List.map fst (o.R.dead_ports ()))
+      Alcotest.(check (list int)) "no dead links" [] (List.map fst (T.dead_ports ()))
     end
   in
   let faults =
@@ -156,16 +156,16 @@ let test_reliable_stream () =
 let test_reliable_round_alignment () =
   let g = Gen.ring ~rng:(rng ()) ~n:2 () in
   let arrived_vr = ref (-1) in
-  let node (o : R.ops) (ctx : R.ctx) =
+  let node ((module T) : (module CS.TRANSPORT with type msg = int)) (ctx : R.ctx) =
     if ctx.me = 0 then begin
-      ignore (o.R.sleep_until 3);
-      o.R.send 0 99;
-      ignore (o.R.sync ())
+      ignore (T.sleep_until 3);
+      T.send 0 99;
+      ignore (T.sync ())
     end
     else begin
-      let inbox = o.R.wait () in
+      let inbox = T.wait () in
       assert (List.exists (fun (_, m) -> m = 99) inbox);
-      arrived_vr := o.R.round ()
+      arrived_vr := T.round ()
     end
   in
   let faults =

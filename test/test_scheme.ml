@@ -10,8 +10,18 @@ let workload ?(seed = 1) ?(n = 120) ?(deg = 5.0) () =
   Gen.connected_erdos_renyi ~rng:(rng seed)
     ~weights:(Gen.uniform_weights 1.0 8.0) ~n ~avg_deg:deg ()
 
+let params ?epsilon ?beta ?b () =
+  let d = Routing.Scheme.Params.default in
+  {
+    d with
+    Routing.Scheme.Params.epsilon =
+      Option.value epsilon ~default:d.Routing.Scheme.Params.epsilon;
+    beta;
+    b;
+  }
+
 let build ?(seed = 1) ?(k = 3) ?epsilon ?beta g =
-  Routing.Scheme.build ~rng:(rng (seed + 100)) ~k ?epsilon ?beta g
+  Routing.Scheme.build ~rng:(rng (seed + 100)) ~k ~params:(params ?epsilon ?beta ()) g
 
 (* ---------- delivery and stretch ---------- *)
 
@@ -52,7 +62,7 @@ let test_routes_are_paths () =
   for _ = 1 to 300 do
     let src = Random.State.int r (Graph.n g) and dst = Random.State.int r (Graph.n g) in
     match Routing.Scheme.route scheme ~src ~dst with
-    | Error e -> Alcotest.failf "%s" e
+    | Error e -> Alcotest.failf "%s" (Tz.Routing_error.to_string e)
     | Ok path ->
       Alcotest.(check int) "starts" src (List.hd path);
       Alcotest.(check int) "ends" dst (List.nth path (List.length path - 1));
@@ -253,7 +263,7 @@ let test_hop_bounded_regime () =
   (* force B far below the hop diameter: routing must now lean on hopset
      jumps and path recovery (the default B hides this at small n) *)
   let g = Gen.ring ~rng:(rng 111) ~weights:(Gen.uniform_weights 1.0 4.0) ~n:200 () in
-  let scheme = Routing.Scheme.build ~rng:(rng 112) ~k:2 ~b:24 g in
+  let scheme = Routing.Scheme.build ~rng:(rng 112) ~k:2 ~params:(params ~b:24 ()) g in
   Alcotest.(check bool) "B << diameter" true
     (Routing.Scheme.b_bound scheme * 4 < Diameter.hop_diameter g);
   match
@@ -280,12 +290,14 @@ let test_invalid_parameters () =
   Alcotest.check_raises "k=1 rejected" (Invalid_argument "Scheme.build: k >= 2 required")
     (fun () -> ignore (Routing.Scheme.build ~rng:(rng 132) ~k:1 g));
   Alcotest.check_raises "b=0 rejected" (Invalid_argument "Scheme.build: b >= 1 required")
-    (fun () -> ignore (Routing.Scheme.build ~rng:(rng 133) ~k:2 ~b:0 g))
+    (fun () ->
+      ignore (Routing.Scheme.build ~rng:(rng 133) ~k:2 ~params:(params ~b:0 ()) g))
 
 let test_self_route () =
   let g = workload ~seed:141 ~n:40 () in
   let scheme = build ~seed:141 ~k:2 g in
-  Alcotest.(check (result (list int) string)) "self" (Ok [ 7 ])
+  let routing_error = Alcotest.testable Tz.Routing_error.pp Tz.Routing_error.equal in
+  Alcotest.(check (result (list int) routing_error)) "self" (Ok [ 7 ])
     (Routing.Scheme.route scheme ~src:7 ~dst:7)
 
 (* ---------- qcheck ---------- *)

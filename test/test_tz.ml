@@ -255,7 +255,7 @@ let check_graph_routing_stretch ~k ~seed ~n ~pairs =
     if src <> dst then begin
       let exact = (Sssp.dijkstra g ~src).Sssp.dist.(dst) in
       match Tz.Graph_routing.route_weight g scheme ~src ~dst with
-      | Error e -> Alcotest.failf "route %d->%d failed: %s" src dst e
+      | Error e -> Alcotest.failf "route %d->%d failed: %s" src dst (Tz.Routing_error.to_string e)
       | Ok w ->
         let stretch = w /. exact in
         worst := max !worst stretch;
@@ -279,7 +279,7 @@ let test_graph_routing_delivers_everywhere () =
       | Ok path ->
         Alcotest.(check int) "starts at src" src (List.hd path);
         Alcotest.(check int) "ends at dst" dst (List.nth path (List.length path - 1))
-      | Error e -> Alcotest.failf "%d->%d: %s" src dst e
+      | Error e -> Alcotest.failf "%d->%d: %s" src dst (Tz.Routing_error.to_string e)
     done
   done
 
@@ -312,7 +312,7 @@ let test_graph_routing_weighted_grid () =
     if src <> dst then begin
       let exact = (Sssp.dijkstra g ~src).Sssp.dist.(dst) in
       match Tz.Graph_routing.route_weight g scheme ~src ~dst with
-      | Error e -> Alcotest.failf "%s" e
+      | Error e -> Alcotest.failf "%s" (Tz.Routing_error.to_string e)
       | Ok w ->
         Alcotest.(check bool) "stretch bound" true
           (w <= (float_of_int ((4 * k) - 3) *. exact) +. 1e-6)
