@@ -30,6 +30,15 @@ let n_t = Arg.(value & opt int 256 & info [ "n" ] ~docv:"N" ~doc:"Number of vert
 let k_t =
   Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"Stretch parameter (stretch 4k-3).")
 
+let rounds_limit_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "rounds-limit" ] ~docv:"R"
+        ~doc:
+          "Abort the simulation after $(docv) rounds (outcome Round_limit) \
+           instead of the simulator default.")
+
 type topology = Er | Grid | Torus | Rtree | Ba | Ring | Dumbbell
 
 let topology_t =
@@ -223,7 +232,7 @@ let tree_cmd =
              fault is injected).")
   in
   let run seed n topology q drop dup delay max_delay link_fail crash fault_seed
-      reliable json =
+      reliable rounds_limit json =
     let g = make_graph ~seed ~n topology in
     let rng = Random.State.make [| seed; 4 |] in
     let tree = Tree.bfs_spanning g ~root:0 in
@@ -260,7 +269,10 @@ let tree_cmd =
           | _ -> "reliable")
     end;
     let trace = if json then Some (Congest.Trace.make ()) else None in
-    let out = Routing.Dist_tree_routing.run ~rng ?q ?faults ?reliable ?trace g ~tree in
+    let out =
+      Routing.Dist_tree_routing.run ~rng ?q ?faults ?reliable ?trace
+        ?max_rounds:rounds_limit g ~tree
+    in
     let m = out.Routing.Dist_tree_routing.report in
     if json then
       let open Congest.Export.Json in
@@ -326,7 +338,8 @@ let tree_cmd =
     (Cmd.info "tree" ~doc:"Run the distributed tree-routing protocol on the simulator.")
     Term.(
       const run $ seed_t $ n_t $ topology_t $ q_t $ drop_t $ dup_t $ delay_t
-      $ max_delay_t $ link_fail_t $ crash_t $ fault_seed_t $ reliable_t $ json_t)
+      $ max_delay_t $ link_fail_t $ crash_t $ fault_seed_t $ reliable_t
+      $ rounds_limit_t $ json_t)
 
 (* ---- trace ---- *)
 
@@ -337,14 +350,23 @@ let trace_cmd =
       & opt (some float) None
       & info [ "q" ] ~docv:"Q" ~doc:"Sampling probability (default 1/sqrt n).")
   in
-  let run seed n topology q json =
+  let run seed n topology q rounds_limit json =
     let g = make_graph ~seed ~n topology in
     let rng = Random.State.make [| seed; 4 |] in
     let tree = Tree.bfs_spanning g ~root:0 in
     let tr = Congest.Trace.make () in
-    let out = Routing.Dist_tree_routing.run ~rng ?q ~trace:tr g ~tree in
+    let t0 = Unix.gettimeofday () in
+    let out =
+      Routing.Dist_tree_routing.run ~rng ?q ~trace:tr ?max_rounds:rounds_limit g
+        ~tree
+    in
+    let wall = Unix.gettimeofday () -. t0 in
     let m = out.Routing.Dist_tree_routing.report in
     let total = m.Congest.Metrics.rounds in
+    let per_round =
+      if total = 0 then 0.0
+      else float_of_int m.Congest.Metrics.wakeups /. float_of_int total
+    in
     if json then
       let open Congest.Export.Json in
       print_endline
@@ -354,6 +376,8 @@ let trace_cmd =
                 ("command", Str "trace");
                 ("n", Int (Graph.n g));
                 ("m", Int (Graph.m g));
+                ("wall_seconds", Float wall);
+                ("wakeups_per_round", Float per_round);
                 ( "phases",
                   Arr
                     (List.map
@@ -382,7 +406,9 @@ let trace_cmd =
       Format.printf "spans recorded: %d, ring samples: %d, events: %d@."
         (List.length (Congest.Trace.spans tr))
         (Array.length (Congest.Trace.rounds tr))
-        (Congest.Trace.events_recorded tr)
+        (Congest.Trace.events_recorded tr);
+      Format.printf "wall-clock: %.3f s, wakeups: %d (%.1f per round)@." wall
+        m.Congest.Metrics.wakeups per_round
     end
   in
   Cmd.v
@@ -390,7 +416,7 @@ let trace_cmd =
        ~doc:
          "Run the tree-routing protocol under a trace and print the per-phase \
           round breakdown (rows sum to the measured round count).")
-    Term.(const run $ seed_t $ n_t $ topology_t $ q_t $ json_t)
+    Term.(const run $ seed_t $ n_t $ topology_t $ q_t $ rounds_limit_t $ json_t)
 
 (* ---- json-check ---- *)
 

@@ -276,6 +276,7 @@ let metrics (m : Metrics.t) =
   Obj
     [
       ("rounds", Int m.Metrics.rounds);
+      ("wakeups", Int m.Metrics.wakeups);
       ("messages", Int m.Metrics.messages);
       ("message_words", Int m.Metrics.message_words);
       ("max_edge_load", Int m.Metrics.max_edge_load);
@@ -372,10 +373,11 @@ let csv_escape s =
 let metrics_csv (m : Metrics.t) =
   let buf = Buffer.create 128 in
   Buffer.add_string buf
-    "rounds,messages,message_words,max_edge_load,peak_memory_max,peak_memory_avg,dropped,duplicated,delayed,retransmitted\n";
+    "rounds,wakeups,messages,message_words,max_edge_load,peak_memory_max,peak_memory_avg,dropped,duplicated,delayed,retransmitted\n";
   Buffer.add_string buf
-    (Printf.sprintf "%d,%d,%d,%d,%d,%.3f,%d,%d,%d,%d\n" m.Metrics.rounds
-       m.Metrics.messages m.Metrics.message_words m.Metrics.max_edge_load
+    (Printf.sprintf "%d,%d,%d,%d,%d,%d,%.3f,%d,%d,%d,%d\n" m.Metrics.rounds
+       m.Metrics.wakeups m.Metrics.messages m.Metrics.message_words
+       m.Metrics.max_edge_load
        (Metrics.peak_memory_max m)
        (Metrics.peak_memory_avg m)
        m.Metrics.dropped m.Metrics.duplicated m.Metrics.delayed

@@ -24,11 +24,15 @@ type verdict = Deliver | Drop | Duplicate | Delay of int
 type t = {
   spec : spec;
   rng : Random.State.t;
-  (* (u, v) -> first round at which the directed edge u->v no longer carries
-     messages; both directions of an undirected failure are registered *)
-  down : (int * int, int) Hashtbl.t;
+  (* (u lsl 31) lor v -> first round at which the directed edge u->v no
+     longer carries messages; both directions of an undirected failure are
+     registered. The packed int key keeps the per-message [link_down] lookup
+     free of tuple allocation (vertex ids are array indices, far below 2^31). *)
+  down : (int, int) Hashtbl.t;
   crash : (int, int) Hashtbl.t;
 }
+
+let edge_key u v = (u lsl 31) lor v
 
 let check_prob name p =
   if p < 0.0 || p > 1.0 then
@@ -44,9 +48,9 @@ let make spec =
     (fun (u, v, r) ->
       if r < 0 then invalid_arg "Fault.make: negative link-failure round";
       let note a b =
-        match Hashtbl.find_opt down (a, b) with
+        match Hashtbl.find_opt down (edge_key a b) with
         | Some r' when r' <= r -> ()
-        | _ -> Hashtbl.replace down (a, b) r
+        | _ -> Hashtbl.replace down (edge_key a b) r
       in
       note u v;
       note v u)
@@ -64,7 +68,7 @@ let make spec =
 let spec t = t.spec
 
 let link_down t ~round u v =
-  match Hashtbl.find_opt t.down (u, v) with
+  match Hashtbl.find_opt t.down (edge_key u v) with
   | Some r -> round >= r
   | None -> false
 

@@ -1,5 +1,6 @@
 type t = {
   mutable rounds : int;
+  mutable wakeups : int;
   mutable messages : int;
   mutable message_words : int;
   peak_memory : int array;
@@ -15,6 +16,7 @@ type t = {
 let create ~n =
   {
     rounds = 0;
+    wakeups = 0;
     messages = 0;
     message_words = 0;
     peak_memory = Array.make n 0;
@@ -42,6 +44,7 @@ let merge a b =
   let peak = Array.init n (fun v -> max a.peak_memory.(v) b.peak_memory.(v)) in
   {
     rounds = a.rounds + b.rounds;
+    wakeups = a.wakeups + b.wakeups;
     messages = a.messages + b.messages;
     message_words = a.message_words + b.message_words;
     peak_memory = peak;
@@ -57,8 +60,9 @@ let merge a b =
 let memory_hist t = Histogram.of_array t.peak_memory
 
 let pp ppf t =
-  Format.fprintf ppf "rounds=%d msgs=%d words=%d peak_mem=%d avg_mem=%.1f"
-    t.rounds t.messages t.message_words (peak_memory_max t) (peak_memory_avg t);
+  Format.fprintf ppf "rounds=%d wakeups=%d msgs=%d words=%d peak_mem=%d avg_mem=%.1f"
+    t.rounds t.wakeups t.messages t.message_words (peak_memory_max t)
+    (peak_memory_avg t);
   if t.dropped + t.duplicated + t.delayed + t.retransmitted > 0 then
     Format.fprintf ppf " dropped=%d dup=%d delayed=%d retx=%d" t.dropped
       t.duplicated t.delayed t.retransmitted

@@ -15,6 +15,10 @@
 
 type t = {
   mutable rounds : int;
+  mutable wakeups : int;
+      (** total vertex wake-ups over the run: one per vertex resumed (or
+          started) in an executed round — the quantity the event-driven
+          scheduler's work is proportional to *)
   mutable messages : int;
   mutable message_words : int;
   peak_memory : int array;  (** per-vertex peak declared words *)

@@ -474,14 +474,14 @@ module Make (M : Sim.MESSAGE) = struct
     drive ()
 
   let run ?max_rounds ?(edge_capacity = 1) ?(word_limit = 8) ?faults ?trace
-      ?(config = default_config) g ~node =
+      ?scheduler ?(config = default_config) g ~node =
     if config.ack_timeout < 1 || config.backoff < 1 || config.max_retries < 1 then
       invalid_arg "Reliable.run: config fields must be >= 1";
     let burst = edge_capacity + 1 in
     S.run ?max_rounds
       ~edge_capacity:(burst + 1) (* stream burst + one ack per real round *)
       ~word_limit:(word_limit + 2) (* frame header: tag + seq *)
-      ?faults ?trace g
+      ?faults ?trace ?scheduler g
       ~node:(fun (sctx : S.ctx) ->
         let ep = make_ep config ~data_cap:edge_capacity ~word_limit ?trace sctx in
         let rctx =

@@ -49,6 +49,7 @@ module Make (M : Sim.MESSAGE) : sig
     ?word_limit:int ->
     ?faults:Fault.t ->
     ?trace:Trace.t ->
+    ?scheduler:Sim.scheduler ->
     ?config:config ->
     Dgraph.Graph.t ->
     node:((module Sim.TRANSPORT with type msg = M.t) -> ctx -> unit) ->

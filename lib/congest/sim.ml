@@ -19,6 +19,8 @@ type deadlock = { total : int; stuck : (int * wake) list }
 type outcome = Completed | Deadlocked of deadlock | Round_limit
 type report = { outcome : outcome; metrics : Metrics.t }
 
+type scheduler = Event_driven | Scan_reference
+
 let pp_outcome ppf = function
   | Completed -> Format.pp_print_string ppf "completed"
   | Round_limit -> Format.pp_print_string ppf "round limit exceeded"
@@ -53,6 +55,62 @@ module type TRANSPORT = sig
   val dead_ports : unit -> (int * string) list
 end
 
+(* Growable int vector; the event scheduler's worklists. *)
+type ivec = { mutable iv : int array; mutable ivlen : int }
+
+let ivec_make () = { iv = Array.make 16 0; ivlen = 0 }
+
+let ivec_push v x =
+  if v.ivlen = Array.length v.iv then begin
+    let a = Array.make (2 * v.ivlen) 0 in
+    Array.blit v.iv 0 a 0 v.ivlen;
+    v.iv <- a
+  end;
+  v.iv.(v.ivlen) <- x;
+  v.ivlen <- v.ivlen + 1
+
+let ivec_clear v = v.ivlen <- 0
+
+let array_swap (a : int array) i j =
+  let t = a.(i) in
+  a.(i) <- a.(j);
+  a.(j) <- t
+
+(* In-place ascending sort of the subrange a.(lo..hi): quicksort with
+   median-of-three pivots, insertion sort below a small cutoff. Used on the
+   per-round ready list (distinct vertex ids), where Array.sub + Array.sort
+   would allocate every round. *)
+let rec sort_range (a : int array) lo hi =
+  if hi - lo >= 12 then begin
+    let mid = lo + ((hi - lo) / 2) in
+    if a.(mid) < a.(lo) then array_swap a mid lo;
+    if a.(hi) < a.(lo) then array_swap a hi lo;
+    if a.(hi) < a.(mid) then array_swap a hi mid;
+    let pivot = a.(mid) in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while a.(!i) < pivot do incr i done;
+      while a.(!j) > pivot do decr j done;
+      if !i <= !j then begin
+        array_swap a !i !j;
+        incr i;
+        decr j
+      end
+    done;
+    sort_range a lo !j;
+    sort_range a !i hi
+  end
+  else
+    for k = lo + 1 to hi do
+      let x = a.(k) in
+      let j = ref (k - 1) in
+      while !j >= lo && a.(!j) > x do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- x
+    done
+
 module Make (M : MESSAGE) = struct
   type ctx = {
     me : int;
@@ -63,26 +121,47 @@ module Make (M : MESSAGE) = struct
 
   type inbox = (int * M.t) list
 
+  (* Only the blocking operations suspend the vertex's fiber, so only they
+     are effects. The non-blocking primitives (send, round, memory
+     accounting) dispatch through [cur_ops] instead: performing an effect
+     costs a continuation capture plus allocation, and sends outnumber
+     suspensions roughly ten to one on the tree-routing workloads. [run]
+     installs its implementations for the duration of the simulation. *)
   type _ Effect.t +=
-    | Send : int * M.t -> unit Effect.t
     | Sync : inbox Effect.t
     | Wait : inbox Effect.t
     | Sleep_until : int -> inbox Effect.t
     | Wait_until : int -> inbox Effect.t
-    | Round : int Effect.t
-    | Set_memory : int -> unit Effect.t
-    | Add_memory : int -> unit Effect.t
-    | Note_retransmit : unit Effect.t
 
-  let send p m = Effect.perform (Send (p, m))
+  type ops = {
+    op_send : int -> M.t -> unit;
+    op_round : unit -> int;
+    op_set_memory : int -> unit;
+    op_add_memory : int -> unit;
+    op_note_retransmit : unit -> unit;
+  }
+
+  let ops_outside () = failwith "Sim: transport primitive used outside run"
+
+  let cur_ops =
+    ref
+      {
+        op_send = (fun _ _ -> ops_outside ());
+        op_round = (fun () -> ops_outside ());
+        op_set_memory = (fun _ -> ops_outside ());
+        op_add_memory = (fun _ -> ops_outside ());
+        op_note_retransmit = (fun () -> ops_outside ());
+      }
+
+  let send p m = !cur_ops.op_send p m
   let sync () = Effect.perform Sync
   let wait () = Effect.perform Wait
   let sleep_until r = Effect.perform (Sleep_until r)
   let wait_until r = Effect.perform (Wait_until r)
-  let round () = Effect.perform Round
-  let set_memory w = Effect.perform (Set_memory w)
-  let add_memory d = Effect.perform (Add_memory d)
-  let note_retransmit () = Effect.perform Note_retransmit
+  let round () = !cur_ops.op_round ()
+  let set_memory w = !cur_ops.op_set_memory w
+  let add_memory d = !cur_ops.op_add_memory d
+  let note_retransmit () = !cur_ops.op_note_retransmit ()
 
   module Transport = struct
     type msg = M.t
@@ -100,22 +179,77 @@ module Make (M : MESSAGE) = struct
     let dead_ports () = []
   end
 
+  (* Growable (port, message) buffer. The message array materialises lazily
+     on the first push (there is no dummy M.t to prefill with); afterwards
+     both arrays grow by doubling and are never shrunk, so the steady state
+     allocates nothing. *)
+  type msgq = {
+    mutable qport : int array;
+    mutable qmsg : M.t array;
+    mutable qlen : int;
+  }
+
+  let msgq_make () = { qport = [||]; qmsg = [||]; qlen = 0 }
+
+  let msgq_reserve q need filler =
+    if Array.length q.qmsg < need then begin
+      let cap = max need (max 8 (2 * Array.length q.qmsg)) in
+      let np = Array.make cap 0 and nm = Array.make cap filler in
+      Array.blit q.qport 0 np 0 q.qlen;
+      Array.blit q.qmsg 0 nm 0 q.qlen;
+      q.qport <- np;
+      q.qmsg <- nm
+    end
+
+  let msgq_push q p m =
+    if Array.length q.qmsg = q.qlen then msgq_reserve q (q.qlen + 1) m;
+    q.qport.(q.qlen) <- p;
+    q.qmsg.(q.qlen) <- m;
+    q.qlen <- q.qlen + 1
+
   type node_state = {
     id : int;
     mutable cont : (inbox, unit) Effect.Deep.continuation option;
     mutable started : bool;
     mutable crashed : bool;
     mutable wake : wake;
-    mutable rev_buf : (int * M.t) list;
+    inbuf : msgq;  (* delivered, readable messages in arrival order *)
+    pendq : msgq;  (* messages landing this round, in send order *)
+    recv_scratch : int array;  (* per-port counters for the delivery sort *)
     mutable mem_words : int;
     sent_count : int array;
     sent_stamp : int array;
+    mutable timer_at : int;  (* heap key of the live timer entry; -1 = none *)
+    mutable queued_at : int;  (* last round this vertex was put on a worklist *)
   }
 
+  (* The vertex whose program is currently executing. Vertex fibers run one
+     at a time and never preempt each other, so a single slot — written
+     before every start/resume — is enough for [cur_ops] to attribute a
+     send to its sender without capturing anything. *)
+  let running_st =
+    ref
+      {
+        id = -1;
+        cont = None;
+        started = false;
+        crashed = false;
+        wake = Now;
+        inbuf = msgq_make ();
+        pendq = msgq_make ();
+        recv_scratch = [||];
+        mem_words = 0;
+        sent_count = [||];
+        sent_stamp = [||];
+        timer_at = -1;
+        queued_at = -1;
+      }
+
   let run ?(max_rounds = 50_000_000) ?(edge_capacity = 1) ?(word_limit = 8)
-      ?faults ?trace g ~node =
+      ?faults ?trace ?(scheduler = Event_driven) g ~node =
     let open Dgraph in
     let n = Graph.n g in
+    let evt = scheduler = Event_driven in
     let metrics = Metrics.create ~n in
     let cur_round = ref 0 in
     (* busiest directed edge of the round being executed; reset each round *)
@@ -131,18 +265,23 @@ module Make (M : MESSAGE) = struct
         ~clock:(fun () -> !cur_round)
         ~counters:(fun () ->
           (metrics.Metrics.messages, metrics.Metrics.message_words)));
-    (* pending.(v) collects (port at v, msg) to be delivered next round *)
-    let pending = Array.make n [] in
-    let touched = ref [] in
     (* messages the fault plan deferred: (landing round, dest, port, msg);
        a message landing in round r becomes readable in round r+1, exactly
        like a normal send performed in round r *)
     let delayed = ref [] in
-    (* Port translation: edge (v via port p) arrives at u on port rev.(v).(p) *)
-    let port_of = Hashtbl.create (4 * Graph.m g) in
-    for u = 0 to n - 1 do
-      Array.iteri (fun q (x, _) -> Hashtbl.replace port_of (u, x) q) (Graph.neighbors g u)
-    done;
+    (* Flat port translation, replacing the tuple-keyed Hashtbl the seed
+       scheduler probed on every send: sending through port p of vertex v
+       reaches nbr.(v).(p), arriving there on port rev_port.(v).(p). The
+       int-keyed table below exists only during this setup pass. *)
+    let nbr = Array.init n (fun u -> Array.map fst (Graph.neighbors g u)) in
+    let rev_port =
+      let tbl = Hashtbl.create (4 * Graph.m g) in
+      for u = 0 to n - 1 do
+        Array.iteri (fun q x -> Hashtbl.replace tbl ((u * n) + x) q) nbr.(u)
+      done;
+      Array.init n (fun v ->
+          Array.map (fun x -> Hashtbl.find tbl ((x * n) + v)) nbr.(v))
+    in
     let crash_at =
       Array.init n (fun v ->
           match faults with None -> None | Some f -> Fault.crash_round f v)
@@ -155,13 +294,43 @@ module Make (M : MESSAGE) = struct
             started = false;
             crashed = false;
             wake = Now;
-            rev_buf = [];
+            inbuf = msgq_make ();
+            pendq = msgq_make ();
+            recv_scratch = Array.make (Graph.degree g v) 0;
             mem_words = 0;
             sent_count = Array.make (Graph.degree g v) 0;
             sent_stamp = Array.make (Graph.degree g v) (-1);
+            timer_at = -1;
+            queued_at = -1;
           })
     in
-    let current = ref states.(0) in
+    (* destinations with a non-empty pendq, and (deliver-local) the distinct
+       ports of one destination's batch *)
+    let touched = ivec_make () in
+    let dports = ivec_make () in
+    (* Event-scheduler state. [ready] is the current attempt's worklist,
+       [ready_next] collects vertices known runnable next round (sync
+       returns, message wakeups), [timers] holds sleep_until/wait_until
+       deadlines under lazy deletion, [crash_sched] the fault plan's crash
+       events in (round, vertex) order, and [live] counts vertices whose
+       program has neither returned nor crash-stopped. *)
+    let ready = ivec_make () and ready_next = ivec_make () in
+    let timers = Pqueue.Int_heap.create () in
+    let crash_sched =
+      let l = ref [] in
+      for v = n - 1 downto 0 do
+        match crash_at.(v) with Some r -> l := (r, v) :: !l | None -> ()
+      done;
+      let a = Array.of_list !l in
+      Array.sort
+        (fun (r1, v1) (r2, v2) ->
+          if r1 <> r2 then Int.compare r1 r2 else Int.compare v1 v2)
+        a;
+      a
+    in
+    let crash_idx = ref 0 in
+    let live = ref n in
+    let finished st = st.cont = None && st.started in
     (* flush each edge's still-open active-round load sample, then report *)
     let finish outcome =
       Array.iter
@@ -176,26 +345,42 @@ module Make (M : MESSAGE) = struct
         states;
       { outcome; metrics }
     in
+    let crash_vertex st =
+      if st.cont <> None || not st.started then decr live;
+      st.crashed <- true;
+      st.started <- true;
+      st.cont <- None;
+      st.timer_at <- -1;
+      (* everything queued for the dead vertex is lost *)
+      metrics.Metrics.dropped <-
+        metrics.Metrics.dropped + st.inbuf.qlen + st.pendq.qlen;
+      st.inbuf.qlen <- 0;
+      st.pendq.qlen <- 0
+    in
     let apply_crashes r =
       Array.iter
         (fun st ->
           match crash_at.(st.id) with
-          | Some cr when cr <= r && not st.crashed ->
-            st.crashed <- true;
-            st.started <- true;
-            st.cont <- None;
-            (* everything queued for the dead vertex is lost *)
-            metrics.Metrics.dropped <-
-              metrics.Metrics.dropped + List.length st.rev_buf
-              + List.length pending.(st.id);
-            st.rev_buf <- [];
-            pending.(st.id) <- []
+          | Some cr when cr <= r && not st.crashed -> crash_vertex st
           | _ -> ())
         states
     in
+    (* event-mode equivalent: crash events are consumed in schedule order,
+       so each is applied exactly once, at the first attempted round >= it *)
+    let apply_crashes_upto r =
+      while
+        !crash_idx < Array.length crash_sched
+        && fst crash_sched.(!crash_idx) <= r
+      do
+        let _, v = crash_sched.(!crash_idx) in
+        incr crash_idx;
+        if not states.(v).crashed then crash_vertex states.(v)
+      done
+    in
     let enqueue u q m =
-      if pending.(u) = [] then touched := u :: !touched;
-      pending.(u) <- (q, m) :: pending.(u)
+      let stu = states.(u) in
+      if stu.pendq.qlen = 0 then ivec_push touched u;
+      msgq_push stu.pendq q m
     in
     let do_send st p m =
       let deg = Array.length st.sent_count in
@@ -221,12 +406,8 @@ module Make (M : MESSAGE) = struct
       metrics.Metrics.messages <- metrics.Metrics.messages + 1;
       metrics.Metrics.message_words <- metrics.Metrics.message_words + words;
       Histogram.add metrics.Metrics.message_size words;
-      let u = (Graph.neighbors g st.id).(p) |> fst in
-      let q =
-        match Hashtbl.find_opt port_of (u, st.id) with
-        | Some q -> q
-        | None -> assert false
-      in
+      let u = nbr.(st.id).(p) in
+      let q = rev_port.(st.id).(p) in
       (* fault injection sits strictly after the capacity and word-limit
          accounting: the sender is charged for the send whatever the network
          then does to it *)
@@ -249,76 +430,85 @@ module Make (M : MESSAGE) = struct
     let handler (st : node_state) :
         (unit, unit) Effect.Deep.handler =
       {
-        retc = (fun () -> st.cont <- None);
+        retc =
+          (fun () ->
+            st.cont <- None;
+            decr live);
         exnc = (fun e -> raise e);
         effc =
           (fun (type a) (eff : a Effect.t) ->
             match eff with
-            | Send (p, m) ->
-              Some
-                (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  do_send st p m;
-                  Effect.Deep.continue k ())
             | Sync ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
                   st.cont <- Some k;
-                  st.wake <- Now)
+                  st.wake <- Now;
+                  st.timer_at <- -1;
+                  if evt then begin
+                    st.queued_at <- !cur_round + 1;
+                    ivec_push ready_next st.id
+                  end)
             | Wait ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
                   st.cont <- Some k;
-                  st.wake <- On_message)
+                  st.wake <- On_message;
+                  st.timer_at <- -1;
+                  if evt && st.inbuf.qlen > 0 then begin
+                    st.queued_at <- !cur_round + 1;
+                    ivec_push ready_next st.id
+                  end)
             | Sleep_until r ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
                   st.cont <- Some k;
-                  st.wake <- At r)
+                  st.wake <- At r;
+                  if evt then begin
+                    let eff_r = max r (!cur_round + 1) in
+                    st.timer_at <- eff_r;
+                    Pqueue.Int_heap.push timers ~key:eff_r st.id
+                  end)
             | Wait_until r ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
                   st.cont <- Some k;
-                  st.wake <- Msg_or_at r)
-            | Round ->
-              Some (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  Effect.Deep.continue k !cur_round)
-            | Set_memory w ->
-              Some
-                (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  st.mem_words <- w;
-                  Metrics.note_memory metrics st.id w;
-                  Effect.Deep.continue k ())
-            | Add_memory d ->
-              Some
-                (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  st.mem_words <- max 0 (st.mem_words + d);
-                  Metrics.note_memory metrics st.id st.mem_words;
-                  Effect.Deep.continue k ())
-            | Note_retransmit ->
-              Some
-                (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  metrics.Metrics.retransmitted <-
-                    metrics.Metrics.retransmitted + 1;
-                  Effect.Deep.continue k ())
+                  st.wake <- Msg_or_at r;
+                  if evt then
+                    if st.inbuf.qlen > 0 then begin
+                      st.timer_at <- -1;
+                      st.queued_at <- !cur_round + 1;
+                      ivec_push ready_next st.id
+                    end
+                    else begin
+                      let eff_r = max r (!cur_round + 1) in
+                      st.timer_at <- eff_r;
+                      Pqueue.Int_heap.push timers ~key:eff_r st.id
+                    end)
             | _ -> None);
       }
     in
     let take_inbox st =
-      let ib = List.rev st.rev_buf in
-      st.rev_buf <- [];
-      ib
+      let q = st.inbuf in
+      let ib = ref [] in
+      for i = q.qlen - 1 downto 0 do
+        ib := (q.qport.(i), q.qmsg.(i)) :: !ib
+      done;
+      q.qlen <- 0;
+      !ib
     in
     let start st =
       st.started <- true;
-      current := st;
+      incr tr_wake;
+      metrics.Metrics.wakeups <- metrics.Metrics.wakeups + 1;
       let ctx =
         {
           me = st.id;
           n;
-          neighbors = Array.map fst (Graph.neighbors g st.id);
+          neighbors = Array.copy nbr.(st.id);
           weights = Array.map snd (Graph.neighbors g st.id);
         }
       in
+      running_st := st;
       Effect.Deep.match_with node ctx (handler st)
     in
     let resume st =
@@ -326,74 +516,146 @@ module Make (M : MESSAGE) = struct
       | None -> ()
       | Some k ->
         st.cont <- None;
-        current := st;
+        incr tr_wake;
+        metrics.Metrics.wakeups <- metrics.Metrics.wakeups + 1;
+        running_st := st;
         Effect.Deep.continue k (take_inbox st)
     in
-    let st_append st batch =
-      List.iter (fun pm -> st.rev_buf <- pm :: st.rev_buf) batch
+    (* Wake a vertex blocked on messages ([wait]/[wait_until]) for round
+       [r]; [queued_at] dedups against a same-round worklist entry. *)
+    let push_msg_wakeup wl r stu =
+      if stu.cont <> None then
+        match stu.wake with
+        | On_message | Msg_or_at _ ->
+          if stu.queued_at < r then begin
+            stu.queued_at <- r;
+            ivec_push wl stu.id
+          end
+        | Now | At _ -> ()
+    in
+    (* Move one destination's pending batch into its inbox, in the order the
+       seed scheduler produced: ports ascending and, within one port, newest
+       send first (the seed stable-sorted a newest-first list by port). A
+       counting sort over the batch's distinct ports reproduces that order in
+       O(batch + distinct ports), allocation-free. *)
+    let deliver_one u =
+      let stu = states.(u) in
+      let pq = stu.pendq in
+      let b = pq.qlen in
+      if b > 0 then begin
+        if stu.crashed then begin
+          metrics.Metrics.dropped <- metrics.Metrics.dropped + b;
+          pq.qlen <- 0
+        end
+        else begin
+          let counts = stu.recv_scratch in
+          ivec_clear dports;
+          for i = 0 to b - 1 do
+            let p = pq.qport.(i) in
+            if counts.(p) = 0 then ivec_push dports p;
+            counts.(p) <- counts.(p) + 1
+          done;
+          let dp = dports.iv and dn = dports.ivlen in
+          sort_range dp 0 (dn - 1);
+          (* prefix-sum the touched ports: counts.(p) becomes p's cursor *)
+          let base = stu.inbuf.qlen in
+          let cursor = ref base in
+          for i = 0 to dn - 1 do
+            let p = dp.(i) in
+            let c = counts.(p) in
+            counts.(p) <- !cursor;
+            cursor := !cursor + c
+          done;
+          msgq_reserve stu.inbuf (base + b) pq.qmsg.(0);
+          let ib = stu.inbuf in
+          for i = b - 1 downto 0 do
+            let p = pq.qport.(i) in
+            let slot = counts.(p) in
+            counts.(p) <- slot + 1;
+            ib.qport.(slot) <- p;
+            ib.qmsg.(slot) <- pq.qmsg.(i)
+          done;
+          ib.qlen <- base + b;
+          for i = 0 to dn - 1 do
+            counts.(dp.(i)) <- 0
+          done;
+          pq.qlen <- 0;
+          if evt then push_msg_wakeup ready_next (!cur_round + 1) stu
+        end
+      end
     in
     let deliver () =
-      List.iter
-        (fun u ->
-          let batch = List.sort (fun (p, _) (q, _) -> compare p q) pending.(u) in
-          pending.(u) <- [];
-          if states.(u).crashed then
-            metrics.Metrics.dropped <- metrics.Metrics.dropped + List.length batch
-          else st_append states.(u) batch)
-        !touched;
-      touched := []
+      for i = 0 to touched.ivlen - 1 do
+        deliver_one touched.iv.(i)
+      done;
+      ivec_clear touched
     in
     (* move fault-delayed messages that landed in an already-executed round
        into their destination's buffer (readable from round [r] on) *)
     let flush_delayed r =
       if !delayed <> [] then begin
-        let due, still = List.partition (fun (land_, _, _, _) -> land_ < r) !delayed in
+        let due, still =
+          List.partition (fun (land_, _, _, _) -> land_ < r) !delayed
+        in
         delayed := still;
         if due <> [] then begin
           let batch =
             List.sort
-              (fun (l1, u1, p1, _) (l2, u2, p2, _) -> compare (l1, u1, p1) (l2, u2, p2))
+              (fun (l1, u1, p1, _) (l2, u2, p2, _) ->
+                if l1 <> l2 then Int.compare l1 l2
+                else if u1 <> u2 then Int.compare u1 u2
+                else Int.compare p1 p2)
               due
           in
           List.iter
             (fun (_, u, q, m) ->
-              if states.(u).crashed then
+              let stu = states.(u) in
+              if stu.crashed then
                 metrics.Metrics.dropped <- metrics.Metrics.dropped + 1
-              else st_append states.(u) [ (q, m) ])
+              else begin
+                msgq_push stu.inbuf q m;
+                if evt then push_msg_wakeup ready r stu
+              end)
             batch
         end
       end
     in
-    (* Round 0: start every program (crash-at-0 vertices never run). *)
-    apply_crashes 0;
-    Array.iter
-      (fun st ->
-        if not st.crashed then begin
-          incr tr_wake;
-          start st
-        end)
-      states;
-    deliver ();
-    (match trace with
-    | None -> ()
-    | Some t ->
-      Trace.record_round t ~round:0 ~messages:metrics.Metrics.messages
-        ~words:metrics.Metrics.message_words ~wakeups:!tr_wake
-        ~max_edge_load:!round_load
-        ~faults:
-          (metrics.Metrics.dropped + metrics.Metrics.duplicated
-          + metrics.Metrics.delayed));
-    let finished st = st.cont = None && st.started in
+    let record_trace r =
+      match trace with
+      | None -> ()
+      | Some t ->
+        Trace.record_round t ~round:r
+          ~messages:(metrics.Metrics.messages - !tr_m0)
+          ~words:(metrics.Metrics.message_words - !tr_w0)
+          ~wakeups:!tr_wake ~max_edge_load:!round_load
+          ~faults:
+            (metrics.Metrics.dropped + metrics.Metrics.duplicated
+            + metrics.Metrics.delayed - !tr_f0)
+    in
+    (* one bounded pass over the states: total stuck count plus the first
+       ten, in id order — no full intermediate list *)
+    let deadlock_report () =
+      let total = ref 0 and sample = ref [] in
+      Array.iter
+        (fun st ->
+          if not (finished st) then begin
+            incr total;
+            if !total <= 10 then sample := (st.id, st.wake) :: !sample
+          end)
+        states;
+      { total = !total; stuck = List.rev !sample }
+    in
     let runnable st r =
       st.cont <> None
       &&
       match st.wake with
       | Now -> true
-      | On_message -> st.rev_buf <> []
+      | On_message -> st.inbuf.qlen > 0
       | At r' -> r' <= r
-      | Msg_or_at r' -> st.rev_buf <> [] || r' <= r
+      | Msg_or_at r' -> st.inbuf.qlen > 0 || r' <= r
     in
-    let rec loop () =
+    (* --- reference scheduler: the seed's per-round O(n) scan loop --- *)
+    let rec scan_loop () =
       let r = !cur_round + 1 in
       if r > max_rounds then finish Round_limit
       else begin
@@ -431,18 +693,11 @@ module Make (M : MESSAGE) = struct
         else if not !any_runnable then begin
           if !min_at < max_int then begin
             cur_round := max !cur_round (!min_at - 1);
-            loop ()
+            scan_loop ()
           end
           else begin
-            let stuck =
-              Array.to_list states
-              |> List.filter (fun st -> not (finished st))
-              |> List.map (fun st -> (st.id, st.wake))
-            in
             metrics.Metrics.rounds <- !cur_round;
-            let sample = List.filteri (fun i _ -> i < 10) stuck in
-            finish
-              (Deadlocked { total = List.length stuck; stuck = sample })
+            finish (Deadlocked (deadlock_report ()))
           end
         end
         else begin
@@ -455,27 +710,163 @@ module Make (M : MESSAGE) = struct
             + metrics.Metrics.delayed;
           tr_wake := 0;
           round_load := 0;
-          Array.iter
-            (fun st ->
-              if runnable st r then begin
-                incr tr_wake;
-                resume st
-              end)
-            states;
+          Array.iter (fun st -> if runnable st r then resume st) states;
           deliver ();
-          (match trace with
-          | None -> ()
-          | Some t ->
-            Trace.record_round t ~round:r
-              ~messages:(metrics.Metrics.messages - !tr_m0)
-              ~words:(metrics.Metrics.message_words - !tr_w0)
-              ~wakeups:!tr_wake ~max_edge_load:!round_load
-              ~faults:
-                (metrics.Metrics.dropped + metrics.Metrics.duplicated
-                + metrics.Metrics.delayed - !tr_f0));
-          loop ()
+          record_trace r;
+          scan_loop ()
         end
       end
     in
-    loop ()
+    (* --- event-driven scheduler --- *)
+    (* Next round at which anything can happen: a worklist entry (always
+       cur+1), the earliest valid timer (stale heap tops — cancelled,
+       crashed or superseded — are discarded on sight), the earliest crash
+       of a still-unfinished vertex, or the wake-up round of an in-flight
+       delayed message. max_int = nothing, ever: deadlock. *)
+    let rec timer_candidate () =
+      let k = Pqueue.Int_heap.min_key timers in
+      if k = max_int then max_int
+      else begin
+        let v = Pqueue.Int_heap.min_payload timers in
+        let st = states.(v) in
+        if st.cont <> None && not st.crashed && st.timer_at = k then k
+        else begin
+          Pqueue.Int_heap.drop_min timers;
+          timer_candidate ()
+        end
+      end
+    in
+    let next_candidate () =
+      let c = ref (if ready_next.ivlen > 0 then !cur_round + 1 else max_int) in
+      let tk = timer_candidate () in
+      if tk < !c then c := tk;
+      (* crash rounds drive the clock only for vertices still running: a
+         finished vertex's crash has its (bookkeeping-only) effect applied
+         lazily at whatever round is attempted next *)
+      let i = ref !crash_idx in
+      let stop = ref false in
+      while (not !stop) && !i < Array.length crash_sched do
+        let r, v = crash_sched.(!i) in
+        if not (finished states.(v)) then begin
+          if r < !c then c := r;
+          stop := true
+        end
+        else incr i
+      done;
+      List.iter
+        (fun (land_, u, _, _) ->
+          if not (finished states.(u)) && land_ + 1 < !c then c := land_ + 1)
+        !delayed;
+      !c
+    in
+    (* Collect the vertices allowed to run in round [r]: the carried-over
+       worklist (sync returns, message wakeups) plus every due timer. The
+       result is exactly the scan scheduler's runnable set for [r]. *)
+    let gather r =
+      for i = 0 to ready_next.ivlen - 1 do
+        let v = ready_next.iv.(i) in
+        let st = states.(v) in
+        if st.cont <> None && not st.crashed then ivec_push ready v
+      done;
+      ivec_clear ready_next;
+      while Pqueue.Int_heap.min_key timers <= r do
+        let k = Pqueue.Int_heap.min_key timers in
+        let v = Pqueue.Int_heap.min_payload timers in
+        Pqueue.Int_heap.drop_min timers;
+        let st = states.(v) in
+        if
+          st.cont <> None && (not st.crashed) && st.timer_at = k
+          && st.queued_at < r
+        then begin
+          st.queued_at <- r;
+          ivec_push ready v
+        end
+      done
+    in
+    (* The side effects the scan scheduler performs while probing its final,
+       never-executed round: lazily pending crashes of finished vertices
+       (dropping their buffered messages) and due delayed messages. Both
+       must land before the report or fault counters drift. *)
+    let phantom_attempt r =
+      apply_crashes_upto r;
+      flush_delayed r
+    in
+    let rec event_loop () =
+      if !cur_round + 1 > max_rounds then finish Round_limit
+      else if !live = 0 then begin
+        phantom_attempt (!cur_round + 1);
+        metrics.Metrics.rounds <- !cur_round;
+        finish Completed
+      end
+      else begin
+        let r = next_candidate () in
+        if r = max_int then begin
+          phantom_attempt (!cur_round + 1);
+          metrics.Metrics.rounds <- !cur_round;
+          finish (Deadlocked (deadlock_report ()))
+        end
+        else if r > max_rounds then begin
+          (* the scan loop probes cur+1 (applying its side effects) before
+             fast-forwarding into the limit *)
+          phantom_attempt (!cur_round + 1);
+          finish Round_limit
+        end
+        else begin
+          cur_round := r - 1;
+          ivec_clear ready;
+          apply_crashes_upto r;
+          flush_delayed r;
+          gather r;
+          if ready.ivlen = 0 then event_loop ()
+          else begin
+            cur_round := r;
+            metrics.Metrics.rounds <- r;
+            tr_m0 := metrics.Metrics.messages;
+            tr_w0 := metrics.Metrics.message_words;
+            tr_f0 :=
+              metrics.Metrics.dropped + metrics.Metrics.duplicated
+              + metrics.Metrics.delayed;
+            tr_wake := 0;
+            round_load := 0;
+            (* the scan scheduler resumes in id order; so do we *)
+            sort_range ready.iv 0 (ready.ivlen - 1);
+            for i = 0 to ready.ivlen - 1 do
+              let st = states.(ready.iv.(i)) in
+              if st.cont <> None && not st.crashed then resume st
+            done;
+            deliver ();
+            record_trace r;
+            event_loop ()
+          end
+        end
+      end
+    in
+    let saved_ops = !cur_ops in
+    cur_ops :=
+      {
+        op_send = (fun p m -> do_send !running_st p m);
+        op_round = (fun () -> !cur_round);
+        op_set_memory =
+          (fun w ->
+            let st = !running_st in
+            st.mem_words <- w;
+            Metrics.note_memory metrics st.id w);
+        op_add_memory =
+          (fun d ->
+            let st = !running_st in
+            st.mem_words <- max 0 (st.mem_words + d);
+            Metrics.note_memory metrics st.id st.mem_words);
+        op_note_retransmit =
+          (fun () ->
+            metrics.Metrics.retransmitted <- metrics.Metrics.retransmitted + 1);
+      };
+    Fun.protect
+      ~finally:(fun () -> cur_ops := saved_ops)
+      (fun () ->
+        (* Round 0: start every program (crash-at-0 vertices never run). *)
+        if evt then apply_crashes_upto 0 else apply_crashes 0;
+        Array.iter (fun st -> if not st.crashed then start st) states;
+        deliver ();
+        record_trace 0;
+        if evt then event_loop () else scan_loop ())
 end

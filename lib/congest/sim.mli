@@ -60,6 +60,18 @@ type outcome =
 
 type report = { outcome : outcome; metrics : Metrics.t }
 
+type scheduler =
+  | Event_driven
+      (** Default. A ready worklist plus an int-keyed timer heap: each round
+          costs O(wakeups + deliveries), and quiet stretches are skipped by
+          jumping to the heap minimum. *)
+  | Scan_reference
+      (** The original scheduler: two O(n) passes over the state array per
+          round. Kept as the semantic reference — both schedulers produce
+          bit-identical {!Metrics} and outcomes on the same run (see the
+          equivalence property test) — and as the baseline the perf harness
+          measures speedups against. *)
+
 val pp_wake : Format.formatter -> wake -> unit
 
 val pp_outcome : Format.formatter -> outcome -> unit
@@ -157,6 +169,7 @@ module Make (M : MESSAGE) : sig
     ?word_limit:int ->
     ?faults:Fault.t ->
     ?trace:Trace.t ->
+    ?scheduler:scheduler ->
     Dgraph.Graph.t ->
     node:(ctx -> unit) ->
     report
@@ -164,6 +177,10 @@ module Make (M : MESSAGE) : sig
       vertices are scheduled in id order and inboxes are sorted; under a
       [?faults] plan the injected faults are a deterministic function of the
       plan's spec (pass a freshly {!Fault.make}d plan — plans are stateful).
+
+      [?scheduler] selects the round engine (default {!Event_driven});
+      outcomes and metrics do not depend on the choice, only wall-clock
+      does.
 
       With [?trace] the run feeds the sink one {!Trace.round_sample} per
       executed round and binds the trace clock to the real round counter, so

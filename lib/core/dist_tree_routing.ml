@@ -92,7 +92,8 @@ type action =
   | A_finish
   | A_params_check
 
-let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config ?trace g ~tree =
+let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config ?trace ?max_rounds
+    ?scheduler g ~tree =
   let use_reliable =
     match reliable with Some b -> b | None -> Option.is_some faults
   in
@@ -713,10 +714,11 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config ?trace g ~tree =
   in
   let report =
     if use_reliable then
-      R.run ~edge_capacity:2 ?faults ?trace ?config g ~node:(fun t rctx ->
-          node t ~me:rctx.R.me ~neighbors:rctx.R.neighbors)
+      R.run ~edge_capacity:2 ?faults ?trace ?max_rounds ?scheduler ?config g
+        ~node:(fun t rctx -> node t ~me:rctx.R.me ~neighbors:rctx.R.neighbors)
     else
-      S.run ~edge_capacity:2 ?faults ?trace g ~node:(fun (sctx : S.ctx) ->
+      S.run ~edge_capacity:2 ?faults ?trace ?max_rounds ?scheduler g
+        ~node:(fun (sctx : S.ctx) ->
           node
             (module S.Transport : Congest.Sim.TRANSPORT with type msg = msg)
             ~me:sctx.S.me ~neighbors:sctx.S.neighbors)

@@ -44,6 +44,8 @@ val run :
   ?reliable:bool ->
   ?config:Congest.Reliable.config ->
   ?trace:Congest.Trace.t ->
+  ?max_rounds:int ->
+  ?scheduler:Congest.Sim.scheduler ->
   Dgraph.Graph.t ->
   tree:Dgraph.Tree.t ->
   outcome
@@ -73,6 +75,11 @@ val run :
     jumping", …) with per-iteration sub-spans inside the pointer-jumping
     phases, and the simulator records per-round samples into the trace ring
     (see {!Congest.Trace}).
+
+    [max_rounds] caps the underlying simulator's round counter (the run then
+    reports ["round limit exceeded"] in [failures]); [scheduler] selects the
+    simulator's round engine — outcomes and metrics are identical under
+    either, only wall-clock differs.
 
     @raise Invalid_argument if the tree uses non-edges of the graph *)
 

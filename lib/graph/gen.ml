@@ -31,7 +31,7 @@ let gnm ~rng ?(weights = unit_weights) ~n ~m () =
   while !count < m do
     let u = Random.State.int rng n and v = Random.State.int rng n in
     if u <> v then begin
-      let key = if u < v then (u, v) else (v, u) in
+      let key = if u < v then (u lsl 31) lor v else (v lsl 31) lor u in
       if not (Hashtbl.mem seen key) then begin
         Hashtbl.add seen key ();
         es := edge rng weights u v :: !es;

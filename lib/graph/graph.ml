@@ -9,7 +9,10 @@ let of_edges ~n:nv edge_list =
     if v < 0 || v >= nv then
       invalid_arg (Printf.sprintf "Graph.of_edges: vertex %d out of [0,%d)" v nv)
   in
-  (* Collapse parallel edges keeping the lightest, drop self loops. *)
+  (* Collapse parallel edges keeping the lightest, drop self loops. Keys
+     pack the normalized pair into one int (u < v < 2^31), so hashing does
+     not walk a tuple; the rows are sorted below, so the table's iteration
+     order never shows in the result. *)
   let best = Hashtbl.create (List.length edge_list * 2) in
   List.iter
     (fun { u; v; w } ->
@@ -17,7 +20,7 @@ let of_edges ~n:nv edge_list =
       check v;
       if w <= 0.0 then invalid_arg "Graph.of_edges: non-positive weight";
       if u <> v then begin
-        let key = if u < v then (u, v) else (v, u) in
+        let key = if u < v then (u lsl 31) lor v else (v lsl 31) lor u in
         match Hashtbl.find_opt best key with
         | Some w' when w' <= w -> ()
         | _ -> Hashtbl.replace best key w
@@ -25,21 +28,26 @@ let of_edges ~n:nv edge_list =
     edge_list;
   let deg = Array.make nv 0 in
   Hashtbl.iter
-    (fun (u, v) _ ->
+    (fun key _ ->
+      let u = key lsr 31 and v = key land 0x7FFFFFFF in
       deg.(u) <- deg.(u) + 1;
       deg.(v) <- deg.(v) + 1)
     best;
   let adj = Array.init nv (fun v -> Array.make deg.(v) (0, 0.0)) in
   let fill = Array.make nv 0 in
   Hashtbl.iter
-    (fun (u, v) w ->
+    (fun key w ->
+      let u = key lsr 31 and v = key land 0x7FFFFFFF in
       adj.(u).(fill.(u)) <- (v, w);
       fill.(u) <- fill.(u) + 1;
       adj.(v).(fill.(v)) <- (u, w);
       fill.(v) <- fill.(v) + 1)
     best;
-  (* Sort rows for reproducible port numbering. *)
-  Array.iter (fun row -> Array.sort compare row) adj;
+  (* Sort rows for reproducible port numbering: by neighbour id (unique
+     within a row once parallel edges are collapsed). *)
+  Array.iter
+    (fun row -> Array.sort (fun (a, _) (b, _) -> Int.compare a b) row)
+    adj;
   { adj }
 
 let of_arrays adj =

@@ -135,7 +135,7 @@ let shortest_path_tree g ~root =
   done;
   build ~root ~parent ~wparent
 
-let vertices t = Array.to_list t.order |> List.sort compare
+let vertices t = Array.to_list t.order |> List.sort Int.compare
 
 let parent t v =
   check_mem t v "parent";
