@@ -67,6 +67,99 @@ let make_graph ~seed ~n topology =
   | Ring -> Gen.ring ~rng ~weights:w ~n ()
   | Dumbbell -> Gen.dumbbell ~rng ~weights:w ~side:(n / 2) ~bridge:(n / 8) ()
 
+(* fault-injection and transport flags, shared by every subcommand that
+   drives the simulator *)
+
+let faults_t =
+  let drop_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop-prob" ] ~docv:"P" ~doc:"Per-message drop probability.")
+  in
+  let dup_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "dup-prob" ] ~docv:"P" ~doc:"Per-message duplication probability.")
+  in
+  let delay_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "delay-prob" ] ~docv:"P" ~doc:"Per-message delay probability.")
+  in
+  let max_delay_t =
+    Arg.(
+      value & opt int 3
+      & info [ "max-delay" ] ~docv:"R" ~doc:"Maximum delay in rounds for delayed messages.")
+  in
+  let link_fail_t =
+    Arg.(
+      value
+      & opt_all (t3 ~sep:',' int int int) []
+      & info [ "link-fail" ] ~docv:"U,V,R"
+          ~doc:"Fail the link $(i,U)-$(i,V) permanently from round $(i,R) on (repeatable).")
+  in
+  let crash_t =
+    Arg.(
+      value
+      & opt_all (t2 ~sep:',' int int) []
+      & info [ "crash" ] ~docv:"V,R"
+          ~doc:"Crash-stop vertex $(i,V) at round $(i,R) (repeatable).")
+  in
+  let fault_seed_t =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Seed of the fault plan's random stream.")
+  in
+  let mk drop dup delay max_delay link_fail crash fault_seed =
+    let spec =
+      {
+        Congest.Fault.seed = fault_seed;
+        drop;
+        duplicate = dup;
+        delay;
+        max_delay;
+        link_failures = link_fail;
+        crashes = crash;
+      }
+    in
+    (* max_delay alone is no fault: it only scales the delays that delay-prob
+       or the plan below introduce *)
+    if spec = { Congest.Fault.none with seed = fault_seed; max_delay } then None
+    else Some (Congest.Fault.make spec)
+  in
+  Term.(
+    const mk $ drop_t $ dup_t $ delay_t $ max_delay_t $ link_fail_t $ crash_t
+    $ fault_seed_t)
+
+let reliable_t =
+  Arg.(
+    value
+    & opt (some bool) None
+    & info [ "reliable" ] ~docv:"BOOL"
+        ~doc:
+          "Run over the reliable transport (default: true exactly when any \
+           fault is injected).")
+
+let q_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "q" ] ~docv:"Q" ~doc:"Sampling probability (default 1/sqrt n).")
+
+let pp_fault_plan faults reliable =
+  match faults with
+  | None -> ()
+  | Some f ->
+    let s = Congest.Fault.spec f in
+    Format.printf
+      "fault plan: seed=%d drop=%.3f dup=%.3f delay=%.3f/%d link-fails=%d \
+       crashes=%d (transport: %s)@."
+      s.Congest.Fault.seed s.Congest.Fault.drop s.Congest.Fault.duplicate
+      s.Congest.Fault.delay s.Congest.Fault.max_delay
+      (List.length s.Congest.Fault.link_failures)
+      (List.length s.Congest.Fault.crashes)
+      (match reliable with Some false -> "raw" | _ -> "reliable")
+
 (* ---- info ---- *)
 
 let info_cmd =
@@ -177,96 +270,13 @@ let route_cmd =
 (* ---- tree ---- *)
 
 let tree_cmd =
-  let q_t =
-    Arg.(
-      value
-      & opt (some float) None
-      & info [ "q" ] ~docv:"Q" ~doc:"Sampling probability (default 1/sqrt n).")
-  in
-  let drop_t =
-    Arg.(
-      value & opt float 0.0
-      & info [ "drop-prob" ] ~docv:"P" ~doc:"Per-message drop probability.")
-  in
-  let dup_t =
-    Arg.(
-      value & opt float 0.0
-      & info [ "dup-prob" ] ~docv:"P" ~doc:"Per-message duplication probability.")
-  in
-  let delay_t =
-    Arg.(
-      value & opt float 0.0
-      & info [ "delay-prob" ] ~docv:"P" ~doc:"Per-message delay probability.")
-  in
-  let max_delay_t =
-    Arg.(
-      value & opt int 3
-      & info [ "max-delay" ] ~docv:"R" ~doc:"Maximum delay in rounds for delayed messages.")
-  in
-  let link_fail_t =
-    Arg.(
-      value
-      & opt_all (t3 ~sep:',' int int int) []
-      & info [ "link-fail" ] ~docv:"U,V,R"
-          ~doc:"Fail the link $(i,U)-$(i,V) permanently from round $(i,R) on (repeatable).")
-  in
-  let crash_t =
-    Arg.(
-      value
-      & opt_all (t2 ~sep:',' int int) []
-      & info [ "crash" ] ~docv:"V,R"
-          ~doc:"Crash-stop vertex $(i,V) at round $(i,R) (repeatable).")
-  in
-  let fault_seed_t =
-    Arg.(
-      value & opt int 1
-      & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Seed of the fault plan's random stream.")
-  in
-  let reliable_t =
-    Arg.(
-      value
-      & opt (some bool) None
-      & info [ "reliable" ] ~docv:"BOOL"
-          ~doc:
-            "Run over the reliable transport (default: true exactly when any \
-             fault is injected).")
-  in
-  let run seed n topology q drop dup delay max_delay link_fail crash fault_seed
-      reliable rounds_limit json =
+  let run seed n topology q faults reliable rounds_limit json =
     let g = make_graph ~seed ~n topology in
     let rng = Random.State.make [| seed; 4 |] in
     let tree = Tree.bfs_spanning g ~root:0 in
-    let spec =
-      {
-        Congest.Fault.seed = fault_seed;
-        drop;
-        duplicate = dup;
-        delay;
-        max_delay;
-        link_failures = link_fail;
-        crashes = crash;
-      }
-    in
-    let faults =
-      if spec = { Congest.Fault.none with seed = fault_seed } then None
-      else Some (Congest.Fault.make spec)
-    in
     if not json then begin
       Format.printf "running the distributed tree-routing protocol on %a@." Graph.pp g;
-      match faults with
-      | None -> ()
-      | Some f ->
-        let s = Congest.Fault.spec f in
-        Format.printf
-          "fault plan: seed=%d drop=%.3f dup=%.3f delay=%.3f/%d link-fails=%d \
-           crashes=%d (transport: %s)@."
-          s.Congest.Fault.seed s.Congest.Fault.drop s.Congest.Fault.duplicate
-          s.Congest.Fault.delay s.Congest.Fault.max_delay
-          (List.length s.Congest.Fault.link_failures)
-          (List.length s.Congest.Fault.crashes)
-          (match reliable with
-          | Some false -> "raw"
-          | _ -> "reliable")
+      pp_fault_plan faults reliable
     end;
     let trace = if json then Some (Congest.Trace.make ()) else None in
     let out =
@@ -337,19 +347,12 @@ let tree_cmd =
   Cmd.v
     (Cmd.info "tree" ~doc:"Run the distributed tree-routing protocol on the simulator.")
     Term.(
-      const run $ seed_t $ n_t $ topology_t $ q_t $ drop_t $ dup_t $ delay_t
-      $ max_delay_t $ link_fail_t $ crash_t $ fault_seed_t $ reliable_t
+      const run $ seed_t $ n_t $ topology_t $ q_t $ faults_t $ reliable_t
       $ rounds_limit_t $ json_t)
 
 (* ---- trace ---- *)
 
 let trace_cmd =
-  let q_t =
-    Arg.(
-      value
-      & opt (some float) None
-      & info [ "q" ] ~docv:"Q" ~doc:"Sampling probability (default 1/sqrt n).")
-  in
   let run seed n topology q rounds_limit json =
     let g = make_graph ~seed ~n topology in
     let rng = Random.State.make [| seed; 4 |] in
@@ -418,6 +421,122 @@ let trace_cmd =
           round breakdown (rows sum to the measured round count).")
     Term.(const run $ seed_t $ n_t $ topology_t $ q_t $ rounds_limit_t $ json_t)
 
+(* ---- dist-scheme ---- *)
+
+let dist_scheme_cmd =
+  let b_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "b" ] ~docv:"B"
+          ~doc:
+            "Virtual-edge hop bound for the B-bounded wave (default: the \
+             paper's 4*n^(ceil(k/2)/k)*ln n, capped at n-1).")
+  in
+  let no_check_t =
+    Arg.(
+      value & flag
+      & info [ "no-check" ]
+          ~doc:"Skip the differential gate against the centralized exact stage.")
+  in
+  let run seed n k topology b faults reliable rounds_limit no_check json =
+    let g = make_graph ~seed ~n topology in
+    let rng = Random.State.make [| seed; 6 |] in
+    if not json then begin
+      Format.printf
+        "executing Appendix B's exact stage on %a with k=%d...@." Graph.pp g k;
+      pp_fault_plan faults reliable
+    end;
+    let trace = if json then Some (Congest.Trace.make ()) else None in
+    let out =
+      Routing.Dist_scheme.run ~rng ~k ?b ?faults ?reliable ?trace
+        ?max_rounds:rounds_limit g
+    in
+    let divergences =
+      if no_check || out.Routing.Dist_scheme.failures <> [] then None
+      else
+        Some
+          (Routing.Dist_scheme.check_against_centralized
+             ~rng:(Random.State.make [| seed; 6 |])
+             g out)
+    in
+    let m = out.Routing.Dist_scheme.report in
+    if json then
+      let open Congest.Export.Json in
+      print_endline
+        (to_string
+           (Obj
+              [
+                ("command", Str "dist-scheme");
+                ("n", Int (Graph.n g));
+                ("m", Int (Graph.m g));
+                ("k", Int k);
+                ("b", Int out.Routing.Dist_scheme.b);
+                ("virtual_size", Int (List.length out.Routing.Dist_scheme.members));
+                ( "phases",
+                  Arr
+                    (List.map
+                       (fun (name, rounds) ->
+                         Obj [ ("name", Str name); ("rounds", Int rounds) ])
+                       out.Routing.Dist_scheme.phase_rounds) );
+                ( "exact_stage_cost",
+                  Routing.Cost.to_json
+                    out.Routing.Dist_scheme.exact.Routing.Scheme.Exact_stage.phases );
+                ("metrics", Congest.Export.metrics m);
+                ( "divergences",
+                  match divergences with
+                  | None -> Null
+                  | Some ds -> Arr (List.map (fun d -> Str d) ds) );
+                ( "failures",
+                  Arr
+                    (List.map (fun s -> Str s) out.Routing.Dist_scheme.failures)
+                );
+              ]))
+    else begin
+      (match out.Routing.Dist_scheme.failures with
+      | [] -> ()
+      | fs ->
+        Format.printf "PROTOCOL FAILURES:@.";
+        List.iter (fun f -> Format.printf "  %s@." f) fs);
+      Format.printf "measured phase spans (|V'| = %d, B = %d):@."
+        (List.length out.Routing.Dist_scheme.members)
+        out.Routing.Dist_scheme.b;
+      List.iter
+        (fun (name, rounds) -> Format.printf "  %-34s %8d rounds@." name rounds)
+        out.Routing.Dist_scheme.phase_rounds;
+      Format.printf "rounds: %d@.messages: %d (%d words)@." m.Congest.Metrics.rounds
+        m.Congest.Metrics.messages m.Congest.Metrics.message_words;
+      if m.Congest.Metrics.dropped + m.Congest.Metrics.duplicated
+         + m.Congest.Metrics.delayed + m.Congest.Metrics.retransmitted > 0
+      then
+        Format.printf "faults: dropped %d, duplicated %d, delayed %d; retransmitted %d@."
+          m.Congest.Metrics.dropped m.Congest.Metrics.duplicated
+          m.Congest.Metrics.delayed m.Congest.Metrics.retransmitted;
+      Format.printf "peak memory: %d words (avg %.1f), max edge load: %d@."
+        (Congest.Metrics.peak_memory_max m)
+        (Congest.Metrics.peak_memory_avg m)
+        m.Congest.Metrics.max_edge_load;
+      match divergences with
+      | None ->
+        if out.Routing.Dist_scheme.failures = [] then
+          Format.printf "differential gate: skipped@."
+      | Some [] -> Format.printf "differential gate: identical to centralized@."
+      | Some ds ->
+        Format.printf "differential gate: %d DIVERGENCES@." (List.length ds);
+        List.iteri (fun i d -> if i < 10 then Format.printf "  %s@." d) ds;
+        exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "dist-scheme"
+       ~doc:
+         "Execute Appendix B's exact stage (pivot, cluster and virtual-edge \
+          waves) as a CONGEST protocol and gate it against the centralized \
+          computation.")
+    Term.(
+      const run $ seed_t $ n_t $ k_t $ topology_t $ b_t $ faults_t $ reliable_t
+      $ rounds_limit_t $ no_check_t $ json_t)
+
 (* ---- json-check ---- *)
 
 let json_check_cmd =
@@ -449,7 +568,10 @@ let () =
   let doc = "Near-optimal distributed routing with low memory (PODC 2018) -- reproduction" in
   let main =
     Cmd.group (Cmd.info "drr" ~doc)
-      [ info_cmd; build_cmd; route_cmd; tree_cmd; trace_cmd; json_check_cmd ]
+      [
+        info_cmd; build_cmd; route_cmd; tree_cmd; trace_cmd; dist_scheme_cmd;
+        json_check_cmd;
+      ]
   in
   (* cmdliner renders one-character option names with a single dash; accept
      the double-dash spelling (--n, --k, ...) people type anyway *)

@@ -1,0 +1,70 @@
+(* End-to-end Appendix B, with the exact stage actually executed: run the
+   hierarchy/pivot/cluster/virtual-edge waves message-by-message on the
+   CONGEST simulator, prove the harvest bit-identical to the centralized
+   computation, then feed it to the centralized upper half and route.
+
+   Run with:  dune exec examples/distributed_scheme.exe *)
+
+open Dgraph
+
+let () =
+  let seed = 42 and k = 4 in
+  let g = Gen.grid ~rng:(Random.State.make [| seed |]) ~rows:8 ~cols:8 () in
+  Format.printf "network: %a, k = %d (stretch 4k-3 = %d)@.@." Graph.pp g k
+    ((4 * k) - 3);
+
+  (* 1. execute the exact stage as a protocol (raw transport here; pass
+     ~faults to exercise Reliable) *)
+  let rng = Random.State.make [| seed; 6 |] in
+  let o = Routing.Dist_scheme.run ~rng ~k g in
+  assert (o.Routing.Dist_scheme.failures = []);
+  Format.printf "measured phase spans (protocol rounds):@.";
+  List.iter
+    (fun (name, rounds) -> Format.printf "  %-34s %6d@." name rounds)
+    o.Routing.Dist_scheme.phase_rounds;
+  let m = o.Routing.Dist_scheme.report in
+  Format.printf "total: %d rounds, %d messages, peak memory %d words@.@."
+    m.Congest.Metrics.rounds m.Congest.Metrics.messages
+    (Congest.Metrics.peak_memory_max m);
+
+  (* 2. the differential gate: every level, distance, pivot, cluster member
+     set and virtual-edge row equals the centralized exact stage *)
+  let gate =
+    Routing.Dist_scheme.check_against_centralized
+      ~rng:(Random.State.make [| seed; 6 |])
+      g o
+  in
+  Format.printf "differential gate vs centralized: %s@.@."
+    (match gate with
+    | [] -> "identical"
+    | ds -> Printf.sprintf "%d DIVERGENCES" (List.length ds));
+  assert (gate = []);
+
+  (* 3. splice into the centralized upper half: hopset, approximate
+     pivots/clusters, labels, per-cluster tree routing. rng is positioned
+     right where Scheme.build's own sampling would have left it. *)
+  let scheme = Routing.Dist_scheme.build_scheme ~rng g o in
+  Format.printf "scheme: |V'| = %d, B = %d, max table %d words, max label %d \
+                 words@.@."
+    (Routing.Scheme.virtual_size scheme)
+    (Routing.Scheme.b_bound scheme)
+    (Routing.Scheme.max_table_words scheme)
+    (Routing.Scheme.max_label_words scheme);
+
+  (* 4. route a few pairs and report stretch against Dijkstra ground truth *)
+  let r = Random.State.make [| seed; 7 |] in
+  let n = Graph.n g in
+  for _ = 1 to 6 do
+    let src = Random.State.int r n and dst = Random.State.int r n in
+    if src <> dst then begin
+      let exact = (Sssp.dijkstra g ~src).Sssp.dist.(dst) in
+      match Routing.Scheme.route scheme ~src ~dst with
+      | Ok path ->
+        Format.printf "%2d -> %-2d  stretch %.3f  path %s@." src dst
+          (Sssp.path_weight g path /. exact)
+          (String.concat "-" (List.map string_of_int path))
+      | Error e ->
+        Format.printf "%2d -> %-2d  FAILED: %s@." src dst
+          (Tz.Routing_error.to_string e)
+    end
+  done

@@ -1,0 +1,654 @@
+open Dgraph
+
+(* Appendix B's exact stage, message-by-message. One BFS tree rooted at
+   vertex 0 synchronizes a sequence of phases; each phase is a sequence of
+   supersteps closed by an Advance/Done barrier over the tree. A superstep
+   performs exactly one (delta-encoded) Bellman-Ford iteration: entries that
+   improved since the previous barrier are offered to every neighbour except
+   the one they were learned from, at most [edge_capacity] per edge per
+   round. The root ends a phase on quiescence (a superstep that sent no
+   data) or when its budget is exhausted (the virtual wave is cut at exactly
+   [B] supersteps - its hop bound is definitional, not a convergence aid).
+
+   Barrier timing makes phase/superstep tags unnecessary: the root defers
+   its end-of-superstep decision by one round, so an Advance/Next reaches
+   any vertex strictly after every data message of the superstep it closes
+   (BFS depths of graph neighbours differ by at most 1). *)
+
+type msg =
+  | Level of { lvl : int }
+  | Bfs of { depth : int }
+  | Bfs_adopt
+  | Bfs_echo
+  | Offer of { src : int; dist : float }
+  | Done of { sent : int }
+  | Advance
+  | Next
+
+module M = struct
+  type t = msg
+
+  let words = function
+    | Bfs_adopt | Bfs_echo | Advance | Next -> 1
+    | Level _ | Bfs _ | Done _ -> 2
+    | Offer _ -> 3
+end
+
+module S = Congest.Sim.Make (M)
+module R = Congest.Reliable.Make (M)
+
+type transport = (module Congest.Sim.TRANSPORT with type msg = msg)
+
+type outcome = {
+  exact : Scheme.Exact_stage.t;
+  virtual_rows : (int * (int * float) list) list;
+  b : int;
+  members : int list;
+  report : Congest.Metrics.t;
+  phase_rounds : (string * int) list;
+  failures : string list;
+}
+
+(* Per-source wave entry held by one vertex: current best distance, the port
+   it was learned from (-1 for seeds) and whether it changed since the last
+   barrier snapshot. *)
+type entry = { mutable d : float; mutable port : int; mutable dirty : bool }
+
+type action = A_bfs_echo_check | A_decide | A_complete | A_setup_check
+
+let run ~rng ~k ?b ?faults ?reliable ?config ?trace ?max_rounds ?scheduler g =
+  if k < 2 then invalid_arg "Dist_scheme.run: k >= 2 required";
+  let use_reliable =
+    match reliable with Some b -> b | None -> Option.is_some faults
+  in
+  let n = Graph.n g in
+  let ih = max 1 (k / 2) in
+  let b =
+    match b with
+    | Some b ->
+      if b < 1 then invalid_arg "Dist_scheme.run: b >= 1 required";
+      b
+    | None -> Scheme.Exact_stage.default_b ~n ~k
+  in
+  (* Local sampling, pre-drawn with the exact stream Hierarchy.build uses so
+     levels are bit-identical on the same seed; each vertex program closes
+     over its own level only. *)
+  let sampled = Tz.Hierarchy.sample ~rng ~k ~n in
+  let levels = Array.init n (fun v -> Tz.Hierarchy.level sampled v) in
+  (* Phase plan: 0..ih-1 pivots (level = phase+1), ih..2ih-1 clusters
+     (level = phase-ih), 2ih the virtual wave. *)
+  let n_phases = (2 * ih) + 1 in
+  let phase_kind p = if p < ih then `Pivot (p + 1) else if p < 2 * ih then `Cluster (p - ih) else `Virtual in
+  let phase_budget p = match phase_kind p with `Virtual -> b | _ -> (2 * n) + 4 in
+  let count_level_ge j =
+    Array.fold_left (fun a l -> if l >= j then a + 1 else a) 0 levels
+  in
+  let count_level_eq i =
+    Array.fold_left (fun a l -> if l = i then a + 1 else a) 0 levels
+  in
+  let phase_name p =
+    if p < 0 then "hierarchy sampling + BFS setup"
+    else
+      match phase_kind p with
+      | `Pivot j -> Printf.sprintf "exact pivots level %d" j
+      | `Cluster i -> Printf.sprintf "exact clusters level %d" i
+      | `Virtual -> "virtual edges (B-bounded wave)"
+  in
+  let phase_detail p =
+    if p < 0 then ""
+    else
+      match phase_kind p with
+      | `Pivot j -> Printf.sprintf "|A_%d|=%d" j (count_level_ge j)
+      | `Cluster i -> Printf.sprintf "|owners|=%d" (count_level_eq i)
+      | `Virtual -> Printf.sprintf "|V'|=%d b=%d" (count_level_ge ih) b
+  in
+  (* ---- harvest arrays, written by vertex programs at phase ends ---- *)
+  let pivot_dist =
+    Array.init (ih + 1) (fun i ->
+        Array.make n (if i = 0 then 0.0 else infinity))
+  in
+  let pivot_src =
+    Array.init (ih + 1) (fun i ->
+        if i = 0 then Array.init n (fun v -> v) else Array.make n (-1))
+  in
+  let cluster_acc : (int * float * int) list ref array =
+    Array.init n (fun _ -> ref [])
+  in
+  let virtual_acc : (int * float) list array = Array.make n [] in
+  let phase_marks = ref [] in
+  (* measured per-vertex protocol words, max per phase (index = phase + 1) *)
+  let phase_peak = Array.make (n_phases + 1) 0 in
+  let failures = ref [] in
+  let fail v s = failures := Printf.sprintf "v%d: %s" v s :: !failures in
+
+  let node ((module T) : transport) ~me ~(neighbors : int array)
+      ~(weights : float array) =
+    let deg = Array.length neighbors in
+    let is_root = me = 0 in
+    let my_level = levels.(me) in
+    let phase_trace name =
+      if is_root then
+        match trace with Some tr -> Congest.Trace.phase tr name | None -> ()
+    in
+    let phase_trace_end () =
+      if is_root then
+        match trace with Some tr -> Congest.Trace.phase_end tr | None -> ()
+    in
+    (* ---- BFS setup state ---- *)
+    let bfs_parent_port = ref (-1)
+    and bfs_depth = ref (if is_root then 0 else -1)
+    and bfs_children = ref 0
+    and echoes = ref 0 in
+    let is_child = Array.make (max 1 deg) false in
+    (* ---- superstep engine state ---- *)
+    let phase = ref (-1)
+    and superstep = ref 0
+    and in_superstep = ref false
+    and done_sent = ref false
+    and done_children = ref 0
+    and children_sent = ref 0
+    and own_sent = ref 0
+    and phase_start = ref 0
+    and virtual_nbrs = ref 0
+    and finished = ref false
+    and last_drain = ref (-1) in
+    (* ---- wave state ---- *)
+    let p_dist = ref infinity and p_src = ref (-1) and p_port = ref (-1) in
+    let p_dirty = ref false in
+    let table : (int, entry) Hashtbl.t = Hashtbl.create 8 in
+    let my_level_dist = Array.make (ih + 1) infinity in
+    my_level_dist.(0) <- 0.0;
+    let queues : (int * float) Queue.t array =
+      Array.init (max 1 deg) (fun _ -> Queue.create ())
+    in
+    let total_queued = ref 0 in
+    let agenda = ref [] in
+    let schedule r a =
+      let rec ins = function
+        | [] -> [ (r, a) ]
+        | (r', _) :: _ as l when r < r' -> (r, a) :: l
+        | x :: rest -> x :: ins rest
+      in
+      agenda := ins !agenda
+    in
+    (* control messages share edges with data; every send is tallied per
+       port so nothing exceeds the run's edge capacity of 2 *)
+    let ctrl_round = ref (-1) in
+    let ctrl = Array.make (max 1 deg) 0 in
+    let note_send p =
+      if !ctrl_round <> T.round () then begin
+        ctrl_round := T.round ();
+        Array.fill ctrl 0 (Array.length ctrl) 0
+      end;
+      ctrl.(p) <- ctrl.(p) + 1
+    in
+    let port_used p = if !ctrl_round = T.round () then ctrl.(p) else 0 in
+    let send_ctrl p m =
+      note_send p;
+      T.send p m
+    in
+    let bc_down m =
+      for p = 0 to deg - 1 do
+        if is_child.(p) then send_ctrl p m
+      done
+    in
+    let update_mem () =
+      let words =
+        14 + (ih + 2) + 3
+        + (4 * Hashtbl.length table)
+        + (2 * !total_queued)
+      in
+      T.set_memory words;
+      let idx = min n_phases (!phase + 1) in
+      if words > phase_peak.(idx) then phase_peak.(idx) <- words
+    in
+    let enqueue ~except (src, d) =
+      for p = 0 to deg - 1 do
+        if p <> except then begin
+          Queue.add (src, d) queues.(p);
+          incr total_queued;
+          incr own_sent
+        end
+      done
+    in
+    (* barrier snapshot: dirty entries become this superstep's offers *)
+    let snapshot () =
+      in_superstep := true;
+      done_sent := false;
+      done_children := 0;
+      children_sent := 0;
+      own_sent := 0;
+      (match phase_kind !phase with
+      | `Pivot _ ->
+        if !p_dirty then begin
+          p_dirty := false;
+          enqueue ~except:!p_port (!p_src, !p_dist)
+        end
+      | `Cluster i ->
+        Hashtbl.iter
+          (fun w e ->
+            if e.dirty then begin
+              e.dirty <- false;
+              if w = me || e.d < my_level_dist.(i + 1) then
+                enqueue ~except:e.port (w, e.d)
+            end)
+          table
+      | `Virtual ->
+        Hashtbl.iter
+          (fun w e ->
+            if e.dirty then begin
+              e.dirty <- false;
+              enqueue ~except:e.port (w, e.d)
+            end)
+          table)
+    in
+    let finalize_phase () =
+      match phase_kind !phase with
+      | `Pivot j ->
+        pivot_dist.(j).(me) <- !p_dist;
+        pivot_src.(j).(me) <- !p_src;
+        my_level_dist.(j) <- !p_dist;
+        p_dist := infinity;
+        p_src := -1;
+        p_port := -1;
+        p_dirty := false
+      | `Cluster i ->
+        Hashtbl.iter
+          (fun w e ->
+            if e.d < my_level_dist.(i + 1) then
+              cluster_acc.(w) :=
+                (me, e.d, if e.port < 0 then -1 else neighbors.(e.port))
+                :: !(cluster_acc.(w)))
+          table;
+        Hashtbl.reset table
+      | `Virtual ->
+        if my_level >= ih then
+          Hashtbl.iter
+            (fun w e -> if w <> me then virtual_acc.(me) <- (w, e.d) :: virtual_acc.(me))
+            table;
+        Hashtbl.reset table
+    in
+    let seed_phase () =
+      match phase_kind !phase with
+      | `Pivot j ->
+        if my_level >= j then begin
+          p_dist := 0.0;
+          p_src := me;
+          p_port := -1;
+          p_dirty := true
+        end
+      | `Cluster i ->
+        if my_level = i then Hashtbl.add table me { d = 0.0; port = -1; dirty = true }
+      | `Virtual ->
+        if my_level >= ih then
+          Hashtbl.add table me { d = 0.0; port = -1; dirty = true }
+    in
+    let on_next () =
+      if !phase >= 0 then finalize_phase () else phase_trace_end ();
+      incr phase;
+      superstep := 0;
+      if !phase >= n_phases then begin
+        finished := true;
+        phase_trace_end ()
+      end
+      else begin
+        phase_trace (phase_name !phase);
+        if is_root then phase_start := T.round ();
+        seed_phase ();
+        snapshot ()
+      end
+    in
+    let root_mark () =
+      phase_marks := (!phase, T.round () - !phase_start) :: !phase_marks
+    in
+    let start_phases () =
+      (* setup complete at the root: record its span, open phase 0 *)
+      phase_marks := (-1, T.round ()) :: !phase_marks;
+      bc_down Next;
+      on_next ()
+    in
+    let maybe_complete () =
+      if
+        !in_superstep && (not !done_sent) && !total_queued = 0
+        && !done_children = !bfs_children
+      then begin
+        if is_root then begin
+          done_sent := true;
+          (* one-round deferral: guarantees Advance/Next land strictly after
+             every data message of the superstep they close *)
+          schedule (T.round () + 1) A_decide
+        end
+        else if port_used !bfs_parent_port < 2 then begin
+          done_sent := true;
+          in_superstep := false;
+          send_ctrl !bfs_parent_port (Done { sent = !own_sent + !children_sent })
+        end
+        else
+          (* parent edge is at capacity this round (the drain just emptied
+             the queue into it) - send Done next round *)
+          schedule (T.round () + 1) A_complete
+      end
+    in
+    let handle (port, m) =
+      match m with
+      | Level { lvl } -> if lvl >= ih then incr virtual_nbrs
+      | Bfs { depth } ->
+        if !bfs_parent_port < 0 && not is_root then begin
+          bfs_parent_port := port;
+          bfs_depth := depth + 1;
+          send_ctrl port Bfs_adopt;
+          for p = 0 to deg - 1 do
+            if p <> port then send_ctrl p (Bfs { depth = !bfs_depth })
+          done;
+          schedule (T.round () + 3) A_bfs_echo_check
+        end
+      | Bfs_adopt ->
+        incr bfs_children;
+        is_child.(port) <- true
+      | Bfs_echo ->
+        incr echoes;
+        if !echoes = !bfs_children then
+          if is_root then start_phases ()
+          else send_ctrl !bfs_parent_port Bfs_echo
+      | Offer { src; dist } -> (
+        let nd = dist +. weights.(port) in
+        match phase_kind !phase with
+        | `Pivot _ ->
+          if nd < !p_dist || (nd = !p_dist && src < !p_src) then begin
+            p_dist := nd;
+            p_src := src;
+            p_port := port;
+            p_dirty := true
+          end
+        | `Cluster _ | `Virtual -> (
+          match Hashtbl.find_opt table src with
+          | Some e ->
+            if nd < e.d then begin
+              e.d <- nd;
+              e.port <- port;
+              e.dirty <- true
+            end
+          | None -> Hashtbl.add table src { d = nd; port; dirty = true }))
+      | Done { sent } ->
+        incr done_children;
+        children_sent := !children_sent + sent
+      | Advance ->
+        if port = !bfs_parent_port then begin
+          bc_down Advance;
+          incr superstep;
+          snapshot ()
+        end
+      | Next ->
+        if port = !bfs_parent_port then begin
+          bc_down Next;
+          on_next ()
+        end
+    in
+    let run_action = function
+      | A_bfs_echo_check ->
+        if !bfs_children = 0 then
+          if is_root then start_phases ()
+          else send_ctrl !bfs_parent_port Bfs_echo
+      | A_decide ->
+        let total = !own_sent + !children_sent in
+        incr superstep;
+        if total = 0 || !superstep >= phase_budget !phase then begin
+          root_mark ();
+          bc_down Next;
+          on_next ()
+        end
+        else begin
+          bc_down Advance;
+          snapshot ()
+        end
+      | A_complete -> maybe_complete ()
+      | A_setup_check ->
+        if !phase < 0 then begin
+          fail me
+            (Printf.sprintf "setup timed out: no phase start by round %d"
+               (T.round ()));
+          finished := true
+        end
+    in
+    let drain () =
+      let r = T.round () in
+      if !last_drain < r then begin
+        last_drain := r;
+        for p = 0 to deg - 1 do
+          let budget = ref (2 - port_used p) in
+          while !budget > 0 && not (Queue.is_empty queues.(p)) do
+            let src, d = Queue.pop queues.(p) in
+            decr total_queued;
+            decr budget;
+            note_send p;
+            T.send p (Offer { src; dist = d })
+          done
+        done
+      end
+    in
+    let dead_seen = ref [] in
+    let check_dead () =
+      List.iter
+        (fun (p, why) ->
+          if not (List.mem p !dead_seen) then begin
+            dead_seen := p :: !dead_seen;
+            fail me (Printf.sprintf "link to v%d lost: %s" neighbors.(p) why);
+            (* every edge carries wave data: any dead link breaks the stage *)
+            finished := true
+          end)
+        (T.dead_ports ())
+    in
+    (* round 0: level announcement + BFS flood from the root *)
+    phase_trace (phase_name (-1));
+    for p = 0 to deg - 1 do
+      T.send p (Level { lvl = my_level })
+    done;
+    if is_root then begin
+      for p = 0 to deg - 1 do
+        send_ctrl p (Bfs { depth = 0 })
+      done;
+      schedule 3 A_bfs_echo_check
+    end;
+    schedule ((4 * n) + 64) A_setup_check;
+    update_mem ();
+    let next_deadline () =
+      let a = match !agenda with [] -> max_int | (r, _) :: _ -> r in
+      if !total_queued > 0 then min a (T.round () + 1) else a
+    in
+    let rec loop () =
+      if not !finished then begin
+        let dl = next_deadline () in
+        let inbox = if dl = max_int then T.wait () else T.wait_until dl in
+        (* control first: an Offer sharing the inbox with the Advance/Next
+           that opens its superstep comes from a one-round-shallower BFS
+           neighbour and belongs to the state that barrier installs (old
+           superstep/phase data provably arrives in strictly earlier
+           rounds, thanks to the root's one-round decision deferral) *)
+        List.iter
+          (fun (p, m) -> match m with Offer _ -> () | _ -> handle (p, m))
+          inbox;
+        List.iter
+          (fun (p, m) -> match m with Offer _ -> handle (p, m) | _ -> ())
+          inbox;
+        check_dead ();
+        let rec run_due () =
+          match !agenda with
+          | (r, a) :: rest when r <= T.round () ->
+            agenda := rest;
+            run_action a;
+            run_due ()
+          | _ -> ()
+        in
+        run_due ();
+        if not !finished then begin
+          drain ();
+          maybe_complete ();
+          update_mem ();
+          loop ()
+        end
+      end
+    in
+    loop ()
+  in
+  let report =
+    if use_reliable then
+      R.run ~edge_capacity:2 ?faults ?trace ?max_rounds ?scheduler ?config g
+        ~node:(fun t rctx ->
+          node t ~me:rctx.R.me ~neighbors:rctx.R.neighbors
+            ~weights:rctx.R.weights)
+    else
+      S.run ~edge_capacity:2 ?faults ?trace ?max_rounds ?scheduler g
+        ~node:(fun (sctx : S.ctx) ->
+          node
+            (module S.Transport : Congest.Sim.TRANSPORT with type msg = msg)
+            ~me:sctx.S.me ~neighbors:sctx.S.neighbors ~weights:sctx.S.weights)
+  in
+  (match report.Congest.Sim.outcome with
+  | Congest.Sim.Completed -> ()
+  | Congest.Sim.Deadlocked _ as oc ->
+    failures := Format.asprintf "%a" Congest.Sim.pp_outcome oc :: !failures
+  | Congest.Sim.Round_limit -> failures := "round limit exceeded" :: !failures);
+  (* ---- harvest: per-vertex state -> the Exact_stage interchange record ---- *)
+  let clusters = ref [] in
+  if !failures = [] then
+    for i = ih - 1 downto 0 do
+      for w = n - 1 downto 0 do
+        if levels.(w) = i then begin
+          let entries =
+            List.sort
+              (fun (a, _, _) (b, _, _) -> compare a b)
+              !(cluster_acc.(w))
+          in
+          let par = Array.make n (-2) and wpar = Array.make n 0.0 in
+          par.(w) <- -1;
+          List.iter
+            (fun (v, _, p) ->
+              if v <> w then
+                match Graph.weight g v p with
+                | Some wt ->
+                  par.(v) <- p;
+                  wpar.(v) <- wt
+                | None -> fail w (Printf.sprintf "cluster parent %d not adjacent to %d" p v))
+            entries;
+          match Tree.of_parents ~root:w ~parent:par ~wparent:wpar with
+          | tree ->
+            clusters :=
+              {
+                Tz.Cluster.owner = w;
+                owner_level = i;
+                tree;
+                dist = List.map (fun (v, d, _) -> (v, d)) entries;
+              }
+              :: !clusters
+          | exception Invalid_argument m ->
+            fail w (Printf.sprintf "cluster tree rejected: %s" m)
+        end
+      done
+    done;
+  let phases =
+    List.fold_left
+      (fun c (p, rounds) ->
+        Cost.add c ~detail:(phase_detail p) ~name:(phase_name p) ~rounds
+          ~peak_memory:phase_peak.(p + 1))
+      Cost.empty
+      (List.rev !phase_marks)
+  in
+  let exact =
+    {
+      Scheme.Exact_stage.k;
+      ih;
+      levels;
+      dist = pivot_dist;
+      pivots = pivot_src;
+      clusters = !clusters;
+      phases;
+    }
+  in
+  let members = ref [] in
+  for v = n - 1 downto 0 do
+    if levels.(v) >= ih then members := v :: !members
+  done;
+  let virtual_rows =
+    List.map
+      (fun v ->
+        (v, List.sort (fun (a, _) (b, _) -> compare a b) virtual_acc.(v)))
+      !members
+  in
+  {
+    exact;
+    virtual_rows;
+    b;
+    members = !members;
+    report = report.Congest.Sim.metrics;
+    phase_rounds =
+      List.rev_map
+        (fun (p, rounds) -> (phase_name p, rounds))
+        !phase_marks;
+    failures = !failures;
+  }
+
+let check_against_centralized ~rng g (o : outcome) =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let n = Graph.n g in
+  let ex = o.exact in
+  let k = ex.Scheme.Exact_stage.k and ih = ex.Scheme.Exact_stage.ih in
+  let h = Tz.Hierarchy.sample ~rng ~k ~n in
+  for v = 0 to n - 1 do
+    if Tz.Hierarchy.level h v <> ex.Scheme.Exact_stage.levels.(v) then
+      err "level of v%d: distributed %d, centralized %d" v
+        ex.Scheme.Exact_stage.levels.(v) (Tz.Hierarchy.level h v)
+  done;
+  let c = Scheme.Exact_stage.compute g ~k ~levels:ex.Scheme.Exact_stage.levels in
+  for i = 0 to ih do
+    for v = 0 to n - 1 do
+      if c.Scheme.Exact_stage.dist.(i).(v) <> ex.Scheme.Exact_stage.dist.(i).(v)
+      then
+        err "d(v%d, A_%d): distributed %h, centralized %h" v i
+          ex.Scheme.Exact_stage.dist.(i).(v) c.Scheme.Exact_stage.dist.(i).(v);
+      if
+        c.Scheme.Exact_stage.pivots.(i).(v)
+        <> ex.Scheme.Exact_stage.pivots.(i).(v)
+      then
+        err "pivot_%d(v%d): distributed %d, centralized %d" i v
+          ex.Scheme.Exact_stage.pivots.(i).(v)
+          c.Scheme.Exact_stage.pivots.(i).(v)
+    done
+  done;
+  let dc = c.Scheme.Exact_stage.clusters
+  and dd = ex.Scheme.Exact_stage.clusters in
+  if List.length dc <> List.length dd then
+    err "cluster count: distributed %d, centralized %d" (List.length dd)
+      (List.length dc)
+  else
+    List.iter2
+      (fun (cc : Tz.Cluster.t) (cd : Tz.Cluster.t) ->
+        if cc.Tz.Cluster.owner <> cd.Tz.Cluster.owner then
+          err "cluster order: distributed owner %d, centralized %d"
+            cd.Tz.Cluster.owner cc.Tz.Cluster.owner
+        else if cd.Tz.Cluster.dist <> cc.Tz.Cluster.dist then
+          err "cluster of %d: member/distance lists differ" cc.Tz.Cluster.owner)
+      dc dd;
+  let vg = Hopsets.Virtual_graph.make g ~members:o.members ~b:o.b in
+  let row v' = List.assoc v' o.virtual_rows in
+  List.iter
+    (fun u' ->
+      let ef = Hopsets.Virtual_graph.edges_from vg u' in
+      let col =
+        List.filter_map
+          (fun v' ->
+            if v' = u' then None
+            else
+              match List.assoc_opt u' (row v') with
+              | Some d -> Some (v', d)
+              | None -> None)
+          o.members
+      in
+      if col <> ef then
+        err "virtual row of %d: wave deposits differ from edges_from" u')
+    o.members;
+  List.rev !errs
+
+let build_scheme ~rng ?(params = Scheme.Params.default) ?trace g (o : outcome) =
+  let params = { params with Scheme.Params.b = Some o.b } in
+  Scheme.build_from_exact ~rng ~params ?trace ~exact:o.exact g

@@ -1,0 +1,110 @@
+(** Appendix B's exact stage as a real CONGEST protocol.
+
+    {!Scheme.build} computes the exact half of the construction (hierarchy
+    sampling, exact pivots and clusters below level [⌈k/2⌉], implicit
+    virtual-edge distances) centrally and merely {e charges} rounds through
+    {!Cost}. This module executes that same stage message-by-message on the
+    simulator — over either the raw {!Congest.Sim} transport or
+    {!Congest.Reliable} (the protocol body is written once against
+    {!Congest.Sim.TRANSPORT}) — and returns a {!Scheme.Exact_stage.t} whose
+    [phases] carry the {e measured} rounds and per-vertex memory instead of
+    the charged formulas. {!Scheme.build_from_exact} then turns it into a
+    full routing scheme.
+
+    Protocol outline (one BFS tree rooted at vertex 0 drives everything):
+
+    + round 0: every vertex announces its sampled hierarchy level to its
+      neighbours, and the root floods a BFS tree whose echo tells the root
+      when setup is complete;
+    + the stage proper is a sequence of {e phases}, each a sequence of
+      root-synchronized {e supersteps} (Advance/Done barriers over the BFS
+      tree). One superstep performs exactly one Bellman–Ford iteration:
+      dirty entries snapshotted at the barrier are offered to every
+      neighbour except the one they were learned from, at most
+      [edge_capacity] per edge per round — so a congested superstep costs
+      as many rounds as its most loaded edge needs, which is precisely what
+      the measured spans capture;
+    + pivot phases (levels [1..⌈k/2⌉]): lexicographic [(dist, src)]
+      relaxations from all of [A_j]; the unique lex fixpoint equals
+      {!Dgraph.Sssp.dijkstra_sources} bit-for-bit;
+    + cluster phases (levels [0..⌈k/2⌉-1]): one limited wave per level, all
+      owners concurrently; a vertex forwards an entry only while it lies
+      inside the cluster ([d < d(v, A_{i+1})], Claim 8), per-vertex state is
+      its own bunch entries (counted into {!Congest.Metrics} memory);
+    + virtual-edge phase: a [B]-bounded wave from every member of
+      [A_{⌈k/2⌉}], giving each virtual vertex its implicit virtual-edge row
+      [d^{(B)}(u', ·)] without materializing [G'] — after exactly [B]
+      supersteps the values equal {!Hopsets.Virtual_graph.edges_from};
+    + pivot and cluster phases end on quiescence (a superstep that sends no
+      data), so their measured spans reflect actual convergence; the
+      virtual phase is cut at exactly [B] supersteps.
+
+    Exactness notes: hierarchy sampling is pre-drawn from [rng] with the
+    exact stream {!Tz.Hierarchy.build} uses, so levels are bit-identical on
+    the same seed (each vertex program closes over only its own level). The
+    differential gate {!check_against_centralized} proves levels, exact
+    distances, pivot attributions, cluster member sets/distances and
+    virtual rows bit-identical to the centralized computation; cluster
+    {e trees} are excluded — the distributed parents are valid shortest-path
+    parents but break ties by message arrival rather than heap order. *)
+
+type outcome = {
+  exact : Scheme.Exact_stage.t;
+      (** levels, exact distances/pivots, clusters — with {e measured}
+          phases *)
+  virtual_rows : (int * (int * float) list) list;
+      (** per member [v'] (ascending): the harvested entries
+          [(u', d^{(B)}(u' → v'))], [u'] ascending — the implicit
+          virtual-edge row deposited at [v'] by the [B]-bounded wave *)
+  b : int;  (** the hop bound the virtual wave ran with *)
+  members : int list;  (** [A_{⌈k/2⌉}], ascending *)
+  report : Congest.Metrics.t;
+  phase_rounds : (string * int) list;
+      (** measured rounds per protocol phase, chronological (virtual rounds
+          over {!Congest.Reliable} — identical to the fault-free run) *)
+  failures : string list;  (** empty iff the protocol completed cleanly *)
+}
+
+val run :
+  rng:Random.State.t ->
+  k:int ->
+  ?b:int ->
+  ?faults:Congest.Fault.t ->
+  ?reliable:bool ->
+  ?config:Congest.Reliable.config ->
+  ?trace:Congest.Trace.t ->
+  ?max_rounds:int ->
+  ?scheduler:Congest.Sim.scheduler ->
+  Dgraph.Graph.t ->
+  outcome
+(** Execute the exact stage. [rng] is consumed exactly as
+    {!Tz.Hierarchy.build} consumes it for sampling, leaving it positioned
+    for the hopset construction — so [run] followed by {!build_scheme} on
+    the same state reproduces {!Scheme.build}'s routing structures
+    bit-for-bit. [?b] defaults to the paper's
+    [min (n-1) ⌈4·n^{⌈k/2⌉/k}·ln n⌉]. [?reliable] defaults to running over
+    {!Congest.Reliable} iff [?faults] is given; [?trace] receives
+    root-emitted phase spans in real rounds. *)
+
+val check_against_centralized :
+  rng:Random.State.t -> Dgraph.Graph.t -> outcome -> string list
+(** The differential gate. Re-samples levels from [rng] (pass a state
+    seeded exactly like [run]'s) and recomputes the exact stage centrally
+    ({!Scheme.Exact_stage.compute}, {!Hopsets.Virtual_graph.edges_from});
+    returns one human-readable line per divergence — levels, per-level
+    distances and pivot attributions, cluster member sets and distances,
+    and every virtual row, all compared bit-for-bit. Empty = identical. *)
+
+val build_scheme :
+  rng:Random.State.t ->
+  ?params:Scheme.Params.t ->
+  ?trace:Congest.Trace.t ->
+  Dgraph.Graph.t ->
+  outcome ->
+  Scheme.t
+(** Feed the distributed exact stage into the centralized upper half
+    ({!Scheme.build_from_exact}): hopset, approximate pivots/clusters,
+    labels and per-cluster tree routing. [params.b] is overridden with
+    [outcome.b] (the bound the virtual wave actually used). The resulting
+    scheme's cost/trace carry the protocol's measured spans for the exact
+    phases and the usual charges for the rest. *)

@@ -94,17 +94,124 @@ let tree_of_candidates n w ~member ~dist ~parent g =
   ignore dist;
   Tree.of_parents ~root:w ~parent:par ~wparent:wpar
 
-let build ~rng ~k ?(params = Params.default) ?trace g =
-  if k < 2 then invalid_arg "Scheme.build: k >= 2 required";
+(* The exact stage of Appendix B (everything below level ⌈k/2⌉ plus the raw
+   pivot attributions), as a standalone value. [compute] is the centralized
+   reference; [Dist_scheme] produces the same record by running the stage
+   message-by-message on the simulator, with *measured* phases in [phases].
+   [build_from_exact] consumes either one identically. *)
+module Exact_stage = struct
+  type t = {
+    k : int;
+    ih : int;  (** [max 1 (k/2)] — first level handled by the upper half *)
+    levels : int array;
+    dist : float array array;  (** [dist.(i).(v) = d(v, A_i)], [0 ≤ i ≤ ih] *)
+    pivots : int array array;
+        (** raw lex attributions per level [0..ih] (no strict promotion;
+            [-1] = unreachable): the smallest-id member of [A_i] among those
+            nearest to [v] *)
+    clusters : Tz.Cluster.t list;
+        (** exact clusters of levels [0..ih-1], in registration order (level
+            ascending, owner ascending); member lists sorted by vertex id *)
+    phases : Cost.t;  (** charged (centralized) or measured (distributed) *)
+  }
+
+  let claim8_depth ~n ~k i =
+    let nf = float_of_int n in
+    min n
+      (int_of_float
+         (ceil (4.0 *. (nf ** (float_of_int (i + 1) /. float_of_int k)) *. log nf)))
+
+  let default_b ~n ~k =
+    let nf = float_of_int n and ih = max 1 (k / 2) in
+    min (max 1 (n - 1))
+      (int_of_float
+         (ceil (4.0 *. (nf ** (float_of_int ih /. float_of_int k)) *. log nf)))
+
+  let compute g ~k ~levels =
+    if k < 2 then invalid_arg "Scheme.Exact_stage.compute: k >= 2 required";
+    let n = Graph.n g in
+    if Array.length levels <> n then
+      invalid_arg "Scheme.Exact_stage.compute: levels length <> n";
+    let ih = max 1 (k / 2) in
+    let dist = Array.make (ih + 1) [||] and pivots = Array.make (ih + 1) [||] in
+    for i = 0 to ih do
+      let srcs = ref [] in
+      for v = n - 1 downto 0 do
+        if levels.(v) >= i then srcs := v :: !srcs
+      done;
+      if !srcs = [] then begin
+        dist.(i) <- Array.make n infinity;
+        pivots.(i) <- Array.make n (-1)
+      end
+      else begin
+        let d, s = Sssp.dijkstra_sources g ~srcs:!srcs in
+        dist.(i) <- d;
+        pivots.(i) <- s
+      end
+    done;
+    let clusters = ref [] and phases = ref Cost.empty in
+    for i = 0 to ih - 1 do
+      let owners = ref [] in
+      for w = n - 1 downto 0 do
+        if levels.(w) = i then owners := w :: !owners
+      done;
+      let level_membership = Array.make n 0 in
+      List.iter
+        (fun w ->
+          let c =
+            Tz.Cluster.of_owner_bound g ~owner:w ~owner_level:i
+              ~bound:(fun v -> dist.(i + 1).(v))
+          in
+          let c =
+            {
+              c with
+              Tz.Cluster.dist =
+                List.sort (fun (a, _) (b, _) -> compare a b) c.Tz.Cluster.dist;
+            }
+          in
+          List.iter
+            (fun (v, _) -> level_membership.(v) <- level_membership.(v) + 1)
+            c.Tz.Cluster.dist;
+          clusters := c :: !clusters)
+        !owners;
+      let congestion = Array.fold_left max 0 level_membership in
+      let depth = claim8_depth ~n ~k i in
+      phases :=
+        Cost.add !phases
+          ~detail:(Printf.sprintf "|owners|=%d" (List.length !owners))
+          ~name:(Printf.sprintf "exact clusters level %d" i)
+          ~rounds:(depth + congestion) ~peak_memory:(2 * congestion)
+    done;
+    {
+      k;
+      ih;
+      levels = Array.copy levels;
+      dist;
+      pivots;
+      clusters = List.rev !clusters;
+      phases = !phases;
+    }
+end
+
+let build_from_exact ~rng ?(params = Params.default) ?trace ?hierarchy
+    ~(exact : Exact_stage.t) g =
+  let k = exact.Exact_stage.k in
+  if k < 2 then invalid_arg "Scheme.build_from_exact: k >= 2 required";
   let epsilon = params.Params.epsilon and lambda = params.Params.lambda in
   let n = Graph.n g in
+  if Array.length exact.Exact_stage.levels <> n then
+    invalid_arg "Scheme.build_from_exact: exact stage is for a different graph";
   let nf = float_of_int n in
   let beta =
     match params.Params.beta with Some b -> b | None -> max 8 (2 * lambda)
   in
   let d_est = Diameter.hop_diameter_estimate g in
-  let hierarchy = Tz.Hierarchy.build ~rng ~k g in
-  let ih = max 1 (k / 2) in
+  let hierarchy =
+    match hierarchy with
+    | Some h -> h
+    | None -> Tz.Hierarchy.of_levels ~k exact.Exact_stage.levels
+  in
+  let ih = exact.Exact_stage.ih in
   let cost = ref Cost.empty in
   (* cumulative charged rounds — the trace clock for this construction, so
      the closed spans it emits partition [0, Cost.total_rounds) exactly like
@@ -139,29 +246,28 @@ let build ~rng ~k ?(params = Params.default) ?trace g =
         | None -> assert false)
       (Tree.vertices tree)
   in
-  (* ---- low levels: exact clusters ---- *)
-  for i = 0 to ih - 1 do
-    let owners =
-      List.filter (fun w -> Tz.Hierarchy.level hierarchy w = i) (Tz.Hierarchy.members hierarchy i)
-    in
-    let level_membership = Array.make n 0 in
-    List.iter
-      (fun w ->
-        let c = Tz.Cluster.of_owner g hierarchy w in
-        List.iter (fun (v, _) -> level_membership.(v) <- level_membership.(v) + 1) c.Tz.Cluster.dist;
-        register_tree w c.Tz.Cluster.tree)
-      owners;
-    let congestion = Array.fold_left max 0 level_membership in
-    let depth =
-      min n
-        (int_of_float
-           (ceil (4.0 *. (nf ** (float_of_int (i + 1) /. float_of_int k)) *. log nf)))
-    in
-    charge
-      ~detail:(Printf.sprintf "|owners|=%d" (List.length owners))
-      (Printf.sprintf "exact clusters level %d" i)
-      (depth + congestion)
-      (2 * congestion)
+  (* ---- low levels: exact stage (precomputed or protocol-run) ---- *)
+  List.iter
+    (fun c -> register_tree c.Tz.Cluster.owner c.Tz.Cluster.tree)
+    exact.Exact_stage.clusters;
+  List.iter
+    (fun (ph : Cost.phase) ->
+      charge ~detail:ph.Cost.detail ph.Cost.name ph.Cost.rounds ph.Cost.peak_memory)
+    (Cost.phases exact.Exact_stage.phases);
+  (* strict pivots for the exact half: promote when the next level is equally
+     close. Promotion is restricted to levels <= ih — the distributed stage
+     has no exact distances above ih, and a tie at the boundary only drops a
+     label entry whose next-level twin is equally good (the skip guard below
+     keeps labels well-formed either way). *)
+  let exact_dist = exact.Exact_stage.dist in
+  let exact_pivots = Array.map Array.copy exact.Exact_stage.pivots in
+  for i = ih - 1 downto 0 do
+    for v = 0 to n - 1 do
+      if
+        exact_pivots.(i + 1).(v) >= 0
+        && exact_dist.(i).(v) >= exact_dist.(i + 1).(v)
+      then exact_pivots.(i).(v) <- exact_pivots.(i + 1).(v)
+    done
   done;
   (* ---- virtual graph and hopset ---- *)
   let members = Tz.Hierarchy.members hierarchy ih in
@@ -170,10 +276,7 @@ let build ~rng ~k ?(params = Params.default) ?trace g =
     | Some b ->
       if b < 1 then invalid_arg "Scheme.build: b >= 1 required";
       b
-    | None ->
-      min (max 1 (n - 1))
-        (int_of_float
-           (ceil (4.0 *. (nf ** (float_of_int ih /. float_of_int k)) *. log nf)))
+    | None -> Exact_stage.default_b ~n ~k
   in
   let vg = Virtual_graph.make g ~members ~b in
   let m = Virtual_graph.size vg in
@@ -203,7 +306,7 @@ let build ~rng ~k ?(params = Params.default) ?trace g =
   done;
   let dhat j =
     if j >= k then fst (Lazy.force infinity_arr)
-    else if j <= ih then Array.init n (fun v -> Tz.Hierarchy.dist_to_level hierarchy j v)
+    else if j <= ih then exact_dist.(j)
     else fst (List.assoc j !pivot_estimates)
   in
   (* ---- approximate clusters for high levels ---- *)
@@ -324,8 +427,7 @@ let build ~rng ~k ?(params = Params.default) ?trace g =
     let last = ref (-1) in
     for j = 0 to k - 1 do
       let owner =
-        if j <= ih then
-          match Tz.Hierarchy.pivot hierarchy j y with Some w -> w | None -> -1
+        if j <= ih then exact_pivots.(j).(y)
         else
           match List.assoc_opt j !pivot_estimates with
           | Some (_, origin) -> origin.(y)
@@ -383,6 +485,18 @@ let build ~rng ~k ?(params = Params.default) ?trace g =
     avg_memory = avg;
     per_vertex_memory = words;
   }
+
+let build ~rng ~k ?(params = Params.default) ?trace g =
+  if k < 2 then invalid_arg "Scheme.build: k >= 2 required";
+  (* [Hierarchy.build] consumes exactly the sampling draws, so [rng] reaches
+     the hopset construction in the same state as before the refactor; the
+     exact stage recomputes the low-half distances deterministically. *)
+  let hierarchy = Tz.Hierarchy.build ~rng ~k g in
+  let levels =
+    Array.init (Graph.n g) (fun v -> Tz.Hierarchy.level hierarchy v)
+  in
+  let exact = Exact_stage.compute g ~k ~levels in
+  build_from_exact ~rng ~params ?trace ~hierarchy ~exact g
 
 let build_legacy ~rng ~k ?epsilon ?lambda ?beta ?b g =
   let d = Params.default in

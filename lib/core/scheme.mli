@@ -52,6 +52,50 @@ module Params : sig
   val pp : Format.formatter -> t -> unit
 end
 
+(** The {e exact stage} of Appendix B — hierarchy levels, exact distances,
+    raw pivot attributions and exact clusters for all levels below
+    [⌈k/2⌉] — as a standalone interchange value. {!Exact_stage.compute} is
+    the centralized reference; [Dist_scheme] (lib/core) produces the same
+    record by executing the stage message-by-message on the CONGEST
+    simulator, with measured phase spans in [phases]. {!build_from_exact}
+    consumes either one identically, which is what the differential gate
+    leans on. *)
+module Exact_stage : sig
+  type t = {
+    k : int;
+    ih : int;  (** [max 1 (k/2)]: first level handled by the upper half *)
+    levels : int array;  (** sampled level of each vertex *)
+    dist : float array array;
+        (** [dist.(i).(v) = d(v, A_i)] for [0 ≤ i ≤ ih] *)
+    pivots : int array array;
+        (** raw lexicographic attributions per level [0..ih] ([-1] if
+            unreachable): smallest-id nearest member of [A_i]. Strict
+            promotion happens inside {!build_from_exact}. *)
+    clusters : Tz.Cluster.t list;
+        (** exact clusters of levels [0..ih-1] in registration order (level
+            ascending, owner ascending), member lists sorted by vertex id *)
+    phases : Cost.t;
+        (** charged phases (centralized) or measured spans (distributed);
+            replayed verbatim into the scheme's {!Cost} by
+            {!build_from_exact} *)
+  }
+
+  val claim8_depth : n:int -> k:int -> int -> int
+  (** [claim8_depth ~n ~k i]: the Claim-8 exploration depth for level [i],
+      [min n ⌈4·n^{(i+1)/k}·ln n⌉] — the hop budget after which the exact
+      cluster/pivot waves of level [i] have provably converged. *)
+
+  val default_b : n:int -> k:int -> int
+  (** The paper's virtual-edge hop bound [B = min (n-1) ⌈4·n^{⌈k/2⌉/k}·ln n⌉]
+      — the default {!Params.t.b} resolution, shared with [Dist_scheme]. *)
+
+  val compute : Dgraph.Graph.t -> k:int -> levels:int array -> t
+  (** Centralized reference: per-level lex multi-source Dijkstra
+      ({!Dgraph.Sssp.dijkstra_sources}) plus bounded truncated Dijkstra
+      cluster growing ({!Tz.Cluster.of_owner_bound}), with the exact-cluster
+      round/memory charges of the paper recorded in [phases]. *)
+end
+
 val build :
   rng:Random.State.t ->
   k:int ->
@@ -66,6 +110,27 @@ val build :
     [Cost.phases] and [Trace.phases] line up one-to-one and
     [Trace.phase_breakdown ~total_rounds:(Cost.total_rounds (cost t))] has
     no unattributed rows. *)
+
+val build_from_exact :
+  rng:Random.State.t ->
+  ?params:Params.t ->
+  ?trace:Congest.Trace.t ->
+  ?hierarchy:Tz.Hierarchy.t ->
+  exact:Exact_stage.t ->
+  Dgraph.Graph.t ->
+  t
+(** Run the upper half (hopset, approximate pivots/clusters, labels, tree
+    routing) on top of an already-computed exact stage. [exact.phases] is
+    replayed verbatim into the scheme's cost/trace — so a distributed exact
+    stage substitutes its {e measured} spans for the centralized charges
+    while the rest of the accounting is unchanged. [?hierarchy] defaults to
+    [Tz.Hierarchy.of_levels exact.levels] (levels only — sufficient for the
+    upper half, which reads exact distances and pivots from [exact]); pass
+    the fully built hierarchy to keep exact ground truth available through
+    {!hierarchy} as {!build} does. [rng] drives the hopset construction and
+    must be positioned exactly where {!build} leaves it after sampling for
+    bit-identical output. Note that [params.b] must match the value the
+    exact stage's virtual wave used, if it ran one. *)
 
 val build_legacy :
   rng:Random.State.t ->

@@ -33,6 +33,45 @@ let dijkstra_from g sources =
 
 let dijkstra g ~src = dijkstra_from g [ (src, 0.0) ]
 
+(* Multi-source Dijkstra over the lexicographic (distance, source) semiring:
+   every vertex learns the id of the smallest-id source among those at minimum
+   distance. Edge weights are strictly positive, so all shortest-path-DAG
+   predecessors of [v] carry strictly smaller distances — but a vertex's
+   attribution can still improve at equal distance after it first pops, so we
+   re-relax on every pop that is not strictly stale instead of keeping a
+   settled flag. Labels only decrease in the finite lex lattice, so this
+   terminates at the unique fixpoint. *)
+let dijkstra_sources g ~srcs =
+  let n = Graph.n g in
+  let dist = Array.make n infinity and src = Array.make n (-1) in
+  let q = Pqueue.create ~capacity:(max 16 n) () in
+  List.iter
+    (fun s ->
+      if dist.(s) > 0.0 || s < src.(s) || src.(s) = -1 then begin
+        dist.(s) <- 0.0;
+        src.(s) <- (if src.(s) = -1 then s else min s src.(s));
+        Pqueue.push q ~key:0.0 s
+      end)
+    srcs;
+  let rec drain () =
+    match Pqueue.pop q with
+    | None -> ()
+    | Some (d, v) ->
+      if d <= dist.(v) then begin
+        let sv = src.(v) in
+        Graph.iter_neighbors g v (fun u w ->
+            let nd = dist.(v) +. w in
+            if nd < dist.(u) || (nd = dist.(u) && sv < src.(u)) then begin
+              dist.(u) <- nd;
+              src.(u) <- sv;
+              Pqueue.push q ~key:nd u
+            end)
+      end;
+      drain ()
+  in
+  drain ();
+  (dist, src)
+
 let dijkstra_multi g ~srcs = dijkstra_from g (List.map (fun s -> (s, 0.0)) srcs)
 
 let dijkstra_hops g ~src =

@@ -16,6 +16,14 @@ val dijkstra_multi : Graph.t -> srcs:int list -> result
 (** Distance to the nearest source; [parent] forms a forest rooted at the
     sources. *)
 
+val dijkstra_sources : Graph.t -> srcs:int list -> float array * int array
+(** Multi-source Dijkstra with {e lexicographic} source attribution: the
+    returned pair [(dist, src)] has [dist.(v)] the distance to the nearest
+    source and [src.(v)] the {e smallest id} among the sources realizing that
+    distance ([-1] if unreachable). This deterministic tie-break is the
+    centralized reference for the distributed pivot waves, whose asynchronous
+    relaxations converge to the same unique lex fixpoint. *)
+
 val dijkstra_hops : Graph.t -> src:int -> result * int array
 (** Dijkstra that also reports, for each vertex, the number of hops on the
     shortest path found (ties broken by the heap order). Used to measure the

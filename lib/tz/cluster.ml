@@ -7,10 +7,8 @@ type t = {
   dist : (int * float) list;
 }
 
-let of_owner g h w =
+let of_owner_bound g ~owner:w ~owner_level:i ~bound =
   let n = Graph.n g in
-  let i = Hierarchy.level h w in
-  let bound v = Hierarchy.dist_to_level h (i + 1) v in
   let dist = Array.make n infinity and parent = Array.make n (-2) in
   let wparent = Array.make n 0.0 in
   let settled = Array.make n false in
@@ -49,6 +47,11 @@ let of_owner g h w =
      already a tree rooted at [w]. *)
   let tree = Tree.of_parents ~root:w ~parent ~wparent in
   { owner = w; owner_level = i; tree; dist = List.rev !members }
+
+let of_owner g h w =
+  let i = Hierarchy.level h w in
+  of_owner_bound g ~owner:w ~owner_level:i ~bound:(fun v ->
+      Hierarchy.dist_to_level h (i + 1) v)
 
 let all g h = Array.init (Graph.n g) (fun w -> of_owner g h w)
 

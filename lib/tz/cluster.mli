@@ -17,6 +17,14 @@ type t = {
 val of_owner : Dgraph.Graph.t -> Hierarchy.t -> int -> t
 (** Grow the cluster of one vertex by truncated Dijkstra. *)
 
+val of_owner_bound :
+  Dgraph.Graph.t -> owner:int -> owner_level:int -> bound:(int -> float) -> t
+(** Same truncated Dijkstra with an explicit truncation radius: a settled
+    vertex [v] with distance [d] joins the cluster iff [d < bound v]. This is
+    {!of_owner} with [bound v = d(v, A_{owner_level+1})]; callers that already
+    hold the level distances (e.g. the distributed exact stage) pass them in
+    directly instead of rebuilding a hierarchy. *)
+
 val all : Dgraph.Graph.t -> Hierarchy.t -> t array
 (** [all g h] has one entry per vertex, indexed by owner id. *)
 

@@ -26,6 +26,17 @@ let sample_levels ~rng ~k ~n =
 
 let sample ~rng ~k ~n = { k; n; level = sample_levels ~rng ~k ~n; built = None }
 
+let of_levels ~k levels =
+  if k < 1 then invalid_arg "Hierarchy.of_levels: k >= 1 required";
+  let n = Array.length levels in
+  if n < 1 then invalid_arg "Hierarchy.of_levels: n >= 1 required";
+  Array.iter
+    (fun l ->
+      if l < 0 || l >= k then
+        invalid_arg "Hierarchy.of_levels: levels must lie in [0, k-1]")
+    levels;
+  { k; n; level = Array.copy levels; built = None }
+
 (* Source attribution for a multi-source Dijkstra forest. *)
 let attribute_sources parent srcs =
   let n = Array.length parent in

@@ -14,6 +14,12 @@ val sample : rng:Random.State.t -> k:int -> n:int -> t
 (** Sample level memberships only (no distances); [k ≥ 1].
     Level [k] is empty by definition. *)
 
+val of_levels : k:int -> int array -> t
+(** Wrap externally computed level memberships (no distances). Used by the
+    distributed exact stage, where each vertex samples its own level and the
+    array is harvested from per-vertex state. The array is copied.
+    @raise Invalid_argument if any level lies outside [0, k-1]. *)
+
 val build : rng:Random.State.t -> k:int -> Dgraph.Graph.t -> t
 (** Sample and compute pivots/distances on the given graph (exact, via
     multi-source Dijkstra per level). *)

@@ -1,0 +1,243 @@
+(* Tests for the distributed exact stage (Appendix B on the CONGEST
+   simulator): the differential gate against the centralized computation,
+   the hop-limited Bellman-Ford primitives, and the full-scheme splice. *)
+
+open Dgraph
+
+let rng seed = Random.State.make [| seed; 91 |]
+
+let concat_take k l =
+  let rec take k = function
+    | x :: rest when k > 0 -> x :: take (k - 1) rest
+    | _ -> []
+  in
+  String.concat " | " (take k l)
+
+let run_gate ?b ?faults ?reliable ~seed ~k g =
+  let o =
+    Routing.Dist_scheme.run ~rng:(rng seed) ~k ?b ?faults ?reliable
+      ~max_rounds:500_000 g
+  in
+  if o.Routing.Dist_scheme.failures <> [] then
+    Alcotest.failf "protocol failures: %s"
+      (String.concat " | " o.Routing.Dist_scheme.failures);
+  let errs = Routing.Dist_scheme.check_against_centralized ~rng:(rng seed) g o in
+  if errs <> [] then
+    Alcotest.failf "%d divergences vs centralized: %s" (List.length errs)
+      (concat_take 5 errs);
+  o
+
+(* ---------- the differential gate across topologies ---------- *)
+
+let test_gate_grid () =
+  let g = Gen.grid ~rng:(rng 1) ~rows:8 ~cols:8 () in
+  let o = run_gate ~seed:11 ~k:4 g in
+  (* phases: setup + ih pivot + ih cluster + virtual, all with measured
+     positive spans *)
+  let ih = o.Routing.Dist_scheme.exact.Routing.Scheme.Exact_stage.ih in
+  Alcotest.(check int) "phase count" ((2 * ih) + 2)
+    (List.length o.Routing.Dist_scheme.phase_rounds);
+  List.iter
+    (fun (name, rounds) ->
+      if rounds <= 0 then Alcotest.failf "phase %S measured %d rounds" name rounds)
+    o.Routing.Dist_scheme.phase_rounds
+
+let test_gate_er () =
+  let g =
+    Gen.connected_erdos_renyi ~rng:(rng 2)
+      ~weights:(Gen.uniform_weights 1.0 4.0) ~n:80 ~avg_deg:4.0 ()
+  in
+  ignore (run_gate ~seed:12 ~k:4 g)
+
+let test_gate_torus () =
+  let g = Gen.torus ~rng:(rng 3) ~rows:6 ~cols:6 () in
+  ignore (run_gate ~seed:13 ~k:3 g)
+
+let test_gate_k2 () =
+  (* k = 2: a single pivot phase, a single cluster phase, the virtual wave *)
+  let g = Gen.grid ~rng:(rng 4) ~rows:5 ~cols:5 () in
+  let o = run_gate ~seed:14 ~k:2 g in
+  Alcotest.(check int) "phase count" 4
+    (List.length o.Routing.Dist_scheme.phase_rounds)
+
+let test_gate_small_b () =
+  (* forcing b below the hop diameter truncates the virtual rows; the gate
+     compares against Virtual_graph at the same b, so it must still pass *)
+  let g = Gen.grid ~rng:(rng 5) ~rows:7 ~cols:7 () in
+  ignore (run_gate ~seed:15 ~k:4 ~b:3 g)
+
+(* ---------- transports ---------- *)
+
+let test_reliable_matches_raw () =
+  let g = Gen.grid ~rng:(rng 6) ~rows:6 ~cols:6 () in
+  let raw = run_gate ~seed:16 ~k:4 ~reliable:false g in
+  let rel = run_gate ~seed:16 ~k:4 ~reliable:true g in
+  (* virtual rounds over Reliable are bit-identical to the raw transport *)
+  Alcotest.(check (list (pair string int)))
+    "measured phase spans" raw.Routing.Dist_scheme.phase_rounds
+    rel.Routing.Dist_scheme.phase_rounds
+
+let test_gate_under_faults () =
+  let g = Gen.grid ~rng:(rng 7) ~rows:6 ~cols:6 () in
+  let faults =
+    Congest.Fault.make
+      {
+        Congest.Fault.none with
+        seed = 21;
+        drop = 0.15;
+        duplicate = 0.08;
+        delay = 0.1;
+      }
+  in
+  let clean = run_gate ~seed:17 ~k:4 g in
+  let faulty = run_gate ~seed:17 ~k:4 ~faults g in
+  (* the reliable transport masks the faults entirely: same measured virtual
+     spans, same harvested stage *)
+  Alcotest.(check (list (pair string int)))
+    "measured phase spans" clean.Routing.Dist_scheme.phase_rounds
+    faulty.Routing.Dist_scheme.phase_rounds
+
+let test_deterministic () =
+  let g = Gen.torus ~rng:(rng 8) ~rows:5 ~cols:5 () in
+  let o1 = run_gate ~seed:18 ~k:3 g in
+  let o2 = run_gate ~seed:18 ~k:3 g in
+  Alcotest.(check (list (pair string int)))
+    "phase spans" o1.Routing.Dist_scheme.phase_rounds
+    o2.Routing.Dist_scheme.phase_rounds;
+  if o1.Routing.Dist_scheme.virtual_rows <> o2.Routing.Dist_scheme.virtual_rows
+  then Alcotest.fail "virtual rows differ across identical runs"
+
+(* ---------- hop-limited Bellman-Ford vs the distributed waves ---------- *)
+
+let test_virtual_wave_is_bounded_bf () =
+  (* the B-bounded wave's deposits are d^(B), checked against the
+     Sssp.bellman_ford primitive directly (the gate itself goes through
+     Virtual_graph) *)
+  let g = Gen.grid ~rng:(rng 9) ~rows:7 ~cols:7 () in
+  let o = run_gate ~seed:19 ~k:4 ~b:5 g in
+  List.iter
+    (fun u' ->
+      let r = Sssp.bellman_ford g ~src:u' ~hops:o.Routing.Dist_scheme.b in
+      List.iter
+        (fun (v', row) ->
+          if v' <> u' then
+            let got = List.assoc_opt u' row in
+            let want =
+              if r.Sssp.dist.(v') = infinity then None else Some r.Sssp.dist.(v')
+            in
+            if got <> want then
+              Alcotest.failf "d^(%d)(%d -> %d): wave %s, bellman_ford %s"
+                o.Routing.Dist_scheme.b u' v'
+                (match got with None -> "absent" | Some d -> Printf.sprintf "%h" d)
+                (match want with None -> "inf" | Some d -> Printf.sprintf "%h" d))
+        o.Routing.Dist_scheme.virtual_rows)
+    o.Routing.Dist_scheme.members
+
+let test_cluster_wave_is_limited_bf () =
+  (* each cluster phase is a limited exploration: members and distances must
+     equal Sssp.bellman_ford_limited run to convergence with the Claim-8
+     predicate d < d(v, A_{i+1}) *)
+  let g =
+    Gen.connected_erdos_renyi ~rng:(rng 10)
+      ~weights:(Gen.uniform_weights 1.0 3.0) ~n:60 ~avg_deg:4.0 ()
+  in
+  let n = Graph.n g in
+  let o = run_gate ~seed:20 ~k:4 g in
+  let h = Tz.Hierarchy.build ~rng:(rng 20) ~k:4 g in
+  List.iter
+    (fun (c : Tz.Cluster.t) ->
+      let i = c.Tz.Cluster.owner_level in
+      let bound v = Tz.Hierarchy.dist_to_level h (i + 1) v in
+      let r =
+        Sssp.bellman_ford_limited g ~src:c.Tz.Cluster.owner ~hops:n
+          ~keep_going:(fun v d -> d < bound v)
+      in
+      let want = ref [] in
+      for v = n - 1 downto 0 do
+        if r.Sssp.dist.(v) < bound v then want := (v, r.Sssp.dist.(v)) :: !want
+      done;
+      if c.Tz.Cluster.dist <> !want then
+        Alcotest.failf "cluster of %d (level %d): wave differs from limited BF"
+          c.Tz.Cluster.owner i)
+    o.Routing.Dist_scheme.exact.Routing.Scheme.Exact_stage.clusters
+
+(* ---------- splicing into the full scheme ---------- *)
+
+let test_build_scheme_matches_centralized () =
+  let g = Gen.grid ~rng:(rng 11) ~rows:7 ~cols:7 () in
+  let k = 4 and seed = 23 in
+  let r1 = rng seed in
+  let s1 = Routing.Scheme.build ~rng:r1 ~k g in
+  let r2 = rng seed in
+  let o = Routing.Dist_scheme.run ~rng:r2 ~k ~max_rounds:500_000 g in
+  if o.Routing.Dist_scheme.failures <> [] then
+    Alcotest.failf "protocol failures: %s"
+      (String.concat " | " o.Routing.Dist_scheme.failures);
+  (* r2 is now positioned exactly where build's sampling left r1, so the
+     hopset construction draws the same stream; parameters and the virtual
+     graph are identical. The schemes as a whole are NOT bit-identical:
+     exact cluster trees tie-differ (message arrival vs heap order), which
+     shifts individual routes and a few table/label words - both remain
+     valid shortest-path trees, so delivery and stretch must hold alike. *)
+  let s2 = Routing.Dist_scheme.build_scheme ~rng:r2 g o in
+  Alcotest.(check int) "k" (Routing.Scheme.k s1) (Routing.Scheme.k s2);
+  Alcotest.(check int) "b" (Routing.Scheme.b_bound s1) (Routing.Scheme.b_bound s2);
+  Alcotest.(check int) "virtual size" (Routing.Scheme.virtual_size s1)
+    (Routing.Scheme.virtual_size s2);
+  Alcotest.(check int) "hopset size" (Routing.Scheme.hopset_size s1)
+    (Routing.Scheme.hopset_size s2);
+  let n = Graph.n g in
+  let bound =
+    float_of_int ((4 * k) - 3) *. (1.0 +. (8.0 *. Routing.Scheme.epsilon s1))
+  in
+  let r = rng 24 in
+  for _ = 1 to 400 do
+    let src = Random.State.int r n and dst = Random.State.int r n in
+    if src <> dst then begin
+      let d = (Sssp.dijkstra g ~src).Sssp.dist.(dst) in
+      let w s name =
+        match Routing.Scheme.route_weight g s ~src ~dst with
+        | Ok w -> w
+        | Error e ->
+          Alcotest.failf "%s: route %d -> %d failed: %a" name src dst
+            Tz.Routing_error.pp e
+      in
+      let w1 = w s1 "centralized" and w2 = w s2 "distributed" in
+      if w1 > bound *. d || w2 > bound *. d then
+        Alcotest.failf "stretch %d -> %d: centralized %.3f, distributed %.3f, bound %.3f"
+          src dst (w1 /. d) (w2 /. d) bound
+    end
+  done
+
+let () =
+  Alcotest.run "dist_scheme"
+    [
+      ( "gate",
+        [
+          Alcotest.test_case "grid, raw transport" `Quick test_gate_grid;
+          Alcotest.test_case "weighted ER, raw transport" `Quick test_gate_er;
+          Alcotest.test_case "torus k=3" `Quick test_gate_torus;
+          Alcotest.test_case "k=2 minimal" `Quick test_gate_k2;
+          Alcotest.test_case "small b truncation" `Quick test_gate_small_b;
+        ] );
+      ( "transports",
+        [
+          Alcotest.test_case "reliable = raw (virtual rounds)" `Quick
+            test_reliable_matches_raw;
+          Alcotest.test_case "gate holds under faults" `Quick
+            test_gate_under_faults;
+          Alcotest.test_case "deterministic per seed" `Quick test_deterministic;
+        ] );
+      ( "bounded BF",
+        [
+          Alcotest.test_case "virtual wave = bellman_ford" `Quick
+            test_virtual_wave_is_bounded_bf;
+          Alcotest.test_case "cluster wave = bellman_ford_limited" `Quick
+            test_cluster_wave_is_limited_bf;
+        ] );
+      ( "scheme",
+        [
+          Alcotest.test_case "build_scheme = Scheme.build" `Quick
+            test_build_scheme_matches_centralized;
+        ] );
+    ]
