@@ -1025,7 +1025,7 @@ let distscheme () =
     let o = DS.run ~rng:(rng seed) ~k g in
     if o.DS.failures <> [] then begin
       Printf.eprintf "distscheme: protocol failures (%s): %s\n" label
-        (String.concat " | " o.DS.failures);
+        (String.concat " | " (List.map DS.failure_to_string o.DS.failures));
       exit 1
     end;
     (* the equality gate, asserted per row: the distributed stage must be
@@ -1102,12 +1102,180 @@ let distscheme () =
     \ before reporting; measured spans are protocol rounds on the raw \
      transport)\n"
 
+(* ------------------------------------------------------------------ *)
+(* Churn: amortized incremental repair vs rebuild-from-scratch           *)
+(* ------------------------------------------------------------------ *)
+
+let churn_bench () =
+  let module Churn = Congest.Churn in
+  let module Dyn = Routing.Dyn_scheme in
+  header
+    "Churn: amortized repair rounds per mutation vs rebuild-from-scratch \
+     (shadow gate at every checkpoint)";
+  Printf.printf "%-8s %4s %6s %6s | %9s %9s %9s %8s | %5s %7s\n" "topology"
+    "seed" "n" "faults" "repair" "amort/mut" "rebuild" "full-rb" "gates" "masked";
+  line ();
+  let k = 3 and events = 200 and checkpoint = 50 in
+  let jrows = ref [] in
+  (* message faults layered onto a protocol run at a checkpoint: generic
+     drop/duplicate/delay plus the stream's own upcoming flap pairs compiled
+     into transient link outage windows (endpoints remapped into the core
+     component). Complete pairs only — an unmatched down leg would compile
+     to a permanent failure, which is a topology change, not a message
+     fault. *)
+  let checkpoint_faults ~seed ~gen stream ~old_to_new =
+    let horizon g = g > gen && g <= gen + checkpoint in
+    let legs =
+      List.filter
+        (fun (e : Churn.event) -> e.Churn.flap && horizon e.Churn.gen)
+        stream
+    in
+    let complete (u, v) =
+      List.exists
+        (fun (e : Churn.event) ->
+          match e.Churn.op with
+          | Churn.Insert { u = a; v = b; _ } -> (min a b, max a b) = (min u v, max u v)
+          | _ -> false)
+        legs
+    in
+    let remapped =
+      List.filter_map
+        (fun (e : Churn.event) ->
+          let remap a b rebuildop =
+            let na = old_to_new a and nb = old_to_new b in
+            if na >= 0 && nb >= 0 then Some { e with Churn.op = rebuildop na nb }
+            else None
+          in
+          match e.Churn.op with
+          | Churn.Delete { u; v } when complete (u, v) ->
+            remap u v (fun a b -> Churn.Delete { u = a; v = b })
+          | Churn.Insert { u; v; w } when complete (u, v) ->
+            remap u v (fun a b -> Churn.Insert { u = a; v = b; w })
+          | _ -> None)
+        legs
+    in
+    let base =
+      {
+        Congest.Fault.none with
+        seed = 77 + seed + gen;
+        drop = 0.05;
+        duplicate = 0.02;
+        delay = 0.05;
+        max_delay = 3;
+      }
+    in
+    Churn.to_fault_spec remapped ~gen_round:(fun g -> (6 * (g - gen)) + 8) ~base
+  in
+  let run_row (tname, g0) seed ~faulty =
+    let g = Churn.add_spare ~spare:4 g0 in
+    let t = Dyn.create ~rng:(rng (3000 + seed)) ~k g in
+    let stream = Churn.generate { Churn.default_spec with seed; events } g in
+    let metrics = Congest.Metrics.create ~n:(Graph.n g) in
+    let gates = ref 0 and masked = ref true in
+    List.iter
+      (fun (e : Churn.event) ->
+        ignore (Dyn.apply ~metrics t e);
+        if e.Churn.gen mod checkpoint = 0 then begin
+          (match Dyn.check_against_shadow t with
+          | [] -> incr gates
+          | err :: _ ->
+            failwith
+              (Printf.sprintf "churn %s/%d gen %d: shadow gate: %s" tname seed
+                 e.Churn.gen err));
+          if faulty then begin
+            (* the stage must mask message faults bit-identically while the
+               topology is mid-stream *)
+            let core, new_to_old = Graph.largest_component (Dyn.graph t) in
+            let old_to_new = Array.make (Graph.n (Dyn.graph t)) (-1) in
+            Array.iteri (fun nv ov -> old_to_new.(ov) <- nv) new_to_old;
+            let tree = Tree.bfs_spanning core ~root:0 in
+            let clean =
+              Routing.Dist_tree_routing.run ~rng:(rng (4000 + e.Churn.gen)) core
+                ~tree
+            in
+            let spec =
+              checkpoint_faults ~seed ~gen:e.Churn.gen stream
+                ~old_to_new:(fun v -> old_to_new.(v))
+            in
+            let out =
+              Routing.Dist_tree_routing.run ~rng:(rng (4000 + e.Churn.gen))
+                ~faults:(Congest.Fault.make spec) ~reliable:true core ~tree
+            in
+            if
+              out.Routing.Dist_tree_routing.failures <> []
+              || out.Routing.Dist_tree_routing.scheme
+                 <> clean.Routing.Dist_tree_routing.scheme
+            then masked := false
+          end
+        end)
+      stream;
+    let stats = Dyn.stats t in
+    let rebuild = Dyn.rebuild_charge t in
+    let amortized =
+      float_of_int stats.Dyn.repair_rounds /. float_of_int stats.Dyn.events
+    in
+    Printf.printf "%-8s %4d %6d %6s | %9d %9.2f %9d %8d | %5d %7b\n" tname seed
+      (Graph.n g)
+      (if faulty then "yes" else "no")
+      stats.Dyn.repair_rounds amortized rebuild stats.Dyn.full_rebuilds !gates
+      !masked;
+    if not !masked then
+      failwith
+        (Printf.sprintf "churn %s/%d: message faults were not masked" tname seed);
+    (* the headline claim of the subsystem: incremental repair amortizes
+       strictly below rebuilding from scratch at every mutation *)
+    if (tname = "grid" || tname = "torus") && amortized >= float_of_int rebuild
+    then
+      failwith
+        (Printf.sprintf "churn %s/%d: amortized %.2f not below rebuild %d" tname
+           seed amortized rebuild);
+    jrows :=
+      J.Obj
+        [
+          ("topology", J.Str tname);
+          ("seed", J.Int seed);
+          ("n", J.Int (Graph.n g));
+          ("k", J.Int k);
+          ("events", J.Int stats.Dyn.events);
+          ("message_faults", J.Bool faulty);
+          ("build_rounds", J.Int stats.Dyn.build_rounds);
+          ("repair_rounds", J.Int stats.Dyn.repair_rounds);
+          ("amortized_rounds_per_mutation", J.Float amortized);
+          ("rebuild_rounds_per_mutation", J.Int rebuild);
+          ("full_rebuilds", J.Int stats.Dyn.full_rebuilds);
+          ("gates_passed", J.Int !gates);
+          ("faults_masked", J.Bool !masked);
+        ]
+      :: !jrows
+  in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun faulty ->
+          run_row ("grid", Gen.grid ~rng:(rng (2500 + seed)) ~rows:7 ~cols:7 ()) seed ~faulty;
+          run_row ("torus", Gen.torus ~rng:(rng (2501 + seed)) ~rows:7 ~cols:7 ()) seed ~faulty;
+          run_row
+            ( "er",
+              Gen.connected_erdos_renyi ~rng:(rng (2502 + seed)) ~n:48
+                ~avg_deg:4.0 () )
+            seed ~faulty)
+        [ false; true ])
+    [ 1; 2 ];
+  emit_json "churn"
+    [
+      ("k", J.Int k);
+      ("events", J.Int events);
+      ("checkpoint", J.Int checkpoint);
+      ("rows", J.Arr (List.rev !jrows));
+    ]
+
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let all =
     [
       table2; table1; fig_a; fig_b; fig_c; fig_d; fig_e; fig_f; faults; timing;
       tree_bench; scheme_bench; (fun () -> tracecost ()); perf; distscheme;
+      churn_bench;
     ]
   in
   match which with
@@ -1128,9 +1296,10 @@ let () =
   | "tracecost-check" -> tracecost ~check:true ()
   | "perf" -> perf ()
   | "distscheme" -> distscheme ()
+  | "churn" -> churn_bench ()
   | other ->
     Printf.eprintf
       "unknown experiment %S \
-       (table1|table2|figA|figB|figC|figD|figE|figF|faults|timing|tree|scheme|tracecost|tracecost-check|perf|distscheme|all)\n"
+       (table1|table2|figA|figB|figC|figD|figE|figF|faults|timing|tree|scheme|tracecost|tracecost-check|perf|distscheme|churn|all)\n"
       other;
     exit 1

@@ -119,13 +119,13 @@ let faults_t =
         delay;
         max_delay;
         link_failures = link_fail;
+        link_flaps = [];
         crashes = crash;
       }
     in
-    (* max_delay alone is no fault: it only scales the delays that delay-prob
-       or the plan below introduce *)
-    if spec = { Congest.Fault.none with seed = fault_seed; max_delay } then None
-    else Some (Congest.Fault.make spec)
+    (* is_none ignores seed and max_delay: on their own they alter no
+       message, so they must not force the reliable transport on *)
+    if Congest.Fault.is_none spec then None else Some (Congest.Fault.make spec)
   in
   Term.(
     const mk $ drop_t $ dup_t $ delay_t $ max_delay_t $ link_fail_t $ crash_t
@@ -489,7 +489,9 @@ let dist_scheme_cmd =
                   | Some ds -> Arr (List.map (fun d -> Str d) ds) );
                 ( "failures",
                   Arr
-                    (List.map (fun s -> Str s) out.Routing.Dist_scheme.failures)
+                    (List.map
+                       (fun f -> Str (Routing.Dist_scheme.failure_to_string f))
+                       out.Routing.Dist_scheme.failures)
                 );
               ]))
     else begin
@@ -497,7 +499,9 @@ let dist_scheme_cmd =
       | [] -> ()
       | fs ->
         Format.printf "PROTOCOL FAILURES:@.";
-        List.iter (fun f -> Format.printf "  %s@." f) fs);
+        List.iter
+          (fun f -> Format.printf "  %a@." Routing.Dist_scheme.pp_failure f)
+          fs);
       Format.printf "measured phase spans (|V'| = %d, B = %d):@."
         (List.length out.Routing.Dist_scheme.members)
         out.Routing.Dist_scheme.b;
@@ -537,6 +541,136 @@ let dist_scheme_cmd =
       const run $ seed_t $ n_t $ k_t $ topology_t $ b_t $ faults_t $ reliable_t
       $ rounds_limit_t $ no_check_t $ json_t)
 
+(* ---- churn ---- *)
+
+let churn_cmd =
+  let events_t =
+    Arg.(
+      value & opt int 200
+      & info [ "events" ] ~docv:"E" ~doc:"Length of the mutation stream.")
+  in
+  let checkpoint_t =
+    Arg.(
+      value & opt int 50
+      & info [ "checkpoint" ] ~docv:"C"
+          ~doc:"Run the shadow differential gate every C generations.")
+  in
+  let spare_t =
+    Arg.(
+      value & opt int 4
+      & info [ "spare" ] ~docv:"S"
+          ~doc:"Isolated vertex slots appended as the join pool.")
+  in
+  let trigger_t =
+    Arg.(
+      value & opt float 0.25
+      & info [ "trigger" ] ~docv:"F"
+          ~doc:
+            "Damage fraction of the whole structure beyond which a repair \
+             escalates to a full bounded rebuild.")
+  in
+  let run seed n k topology events checkpoint spare trigger json =
+    let module Churn = Congest.Churn in
+    let module Dyn = Routing.Dyn_scheme in
+    let g = Churn.add_spare ~spare (make_graph ~seed ~n topology) in
+    if not json then
+      Format.printf
+        "churning %a for %d generations (k=%d, gate every %d)...@." Graph.pp g
+        events k checkpoint;
+    let rng = Random.State.make [| seed; 6 |] in
+    let t = Dyn.create ~params:{ Dyn.rebuild_trigger = trigger } ~rng ~k g in
+    let stream = Churn.generate { Churn.default_spec with seed; events } g in
+    let metrics = Congest.Metrics.create ~n:(Graph.n g) in
+    let repairs = ref [] in
+    let checkpoints = ref [] in
+    let divergences = ref 0 in
+    List.iter
+      (fun (e : Churn.event) ->
+        let rs = Dyn.apply ~metrics t e in
+        repairs := List.rev_append rs !repairs;
+        if e.Churn.gen mod checkpoint = 0 || e.Churn.gen = events then begin
+          let errs = Dyn.check_against_shadow t in
+          divergences := !divergences + List.length errs;
+          checkpoints := (e.Churn.gen, errs) :: !checkpoints;
+          if not json then begin
+            (match errs with
+            | [] ->
+              Format.printf "  gen %4d: gate ok (%d repair rounds so far)@."
+                e.Churn.gen (Dyn.stats t).Dyn.repair_rounds
+            | ds ->
+              Format.printf "  gen %4d: %d DIVERGENCES@." e.Churn.gen
+                (List.length ds);
+              List.iteri (fun i d -> if i < 5 then Format.printf "    %s@." d) ds)
+          end
+        end)
+      stream;
+    let stats = Dyn.stats t in
+    let rebuild = Dyn.rebuild_charge t in
+    let amortized =
+      if stats.Dyn.events = 0 then 0.0
+      else float_of_int stats.Dyn.repair_rounds /. float_of_int stats.Dyn.events
+    in
+    if json then
+      let open Congest.Export.Json in
+      print_endline
+        (to_string
+           (Obj
+              [
+                ("command", Str "churn");
+                ("n", Int (Graph.n g));
+                ("k", Int k);
+                ("events", Int stats.Dyn.events);
+                ("build_rounds", Int stats.Dyn.build_rounds);
+                ("repair_rounds", Int stats.Dyn.repair_rounds);
+                ("amortized_rounds_per_mutation", Float amortized);
+                ("rebuild_rounds", Int rebuild);
+                ("full_rebuilds", Int stats.Dyn.full_rebuilds);
+                ("metrics", Congest.Export.metrics metrics);
+                ( "checkpoints",
+                  Arr
+                    (List.rev_map
+                       (fun (gen, errs) ->
+                         Obj
+                           [
+                             ("gen", Int gen);
+                             ("divergences", Int (List.length errs));
+                           ])
+                       !checkpoints) );
+              ]))
+    else begin
+      Format.printf
+        "events: %d (%a)@." stats.Dyn.events
+        (fun ppf (m : Congest.Metrics.t) ->
+          Format.fprintf ppf
+            "ins %d, del %d, rew %d, join %d, leave %d, flap %d"
+            m.Congest.Metrics.churn_inserts m.Congest.Metrics.churn_deletes
+            m.Congest.Metrics.churn_reweights m.Congest.Metrics.churn_joins
+            m.Congest.Metrics.churn_leaves m.Congest.Metrics.churn_flaps)
+        metrics;
+      Format.printf "initial build: %d rounds@." stats.Dyn.build_rounds;
+      Format.printf
+        "repair: %d rounds total, %.2f amortized/mutation (%d full rebuilds)@."
+        stats.Dyn.repair_rounds amortized stats.Dyn.full_rebuilds;
+      Format.printf "rebuild-from-scratch baseline: %d rounds/mutation@." rebuild
+    end;
+    if !divergences > 0 then begin
+      if not json then
+        Format.printf "differential gate: %d DIVERGENCES@." !divergences;
+      exit 1
+    end
+    else if not json then
+      Format.printf "differential gate: identical to centralized at every checkpoint@."
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "Drive a generation-stamped mutation stream against the incremental \
+          maintainer and gate it bit-exactly against a centralized shadow \
+          recompute at checkpoints (exit 1 on any divergence).")
+    Term.(
+      const run $ seed_t $ n_t $ k_t $ topology_t $ events_t $ checkpoint_t
+      $ spare_t $ trigger_t $ json_t)
+
 (* ---- json-check ---- *)
 
 let json_check_cmd =
@@ -570,7 +704,7 @@ let () =
     Cmd.group (Cmd.info "drr" ~doc)
       [
         info_cmd; build_cmd; route_cmd; tree_cmd; trace_cmd; dist_scheme_cmd;
-        json_check_cmd;
+        churn_cmd; json_check_cmd;
       ]
   in
   (* cmdliner renders one-character option names with a single dash; accept

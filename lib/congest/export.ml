@@ -286,6 +286,16 @@ let metrics (m : Metrics.t) =
       ("duplicated", Int m.Metrics.duplicated);
       ("delayed", Int m.Metrics.delayed);
       ("retransmitted", Int m.Metrics.retransmitted);
+      ( "churn",
+        Obj
+          [
+            ("inserts", Int m.Metrics.churn_inserts);
+            ("deletes", Int m.Metrics.churn_deletes);
+            ("reweights", Int m.Metrics.churn_reweights);
+            ("joins", Int m.Metrics.churn_joins);
+            ("leaves", Int m.Metrics.churn_leaves);
+            ("flaps", Int m.Metrics.churn_flaps);
+          ] );
       ("message_size", histogram m.Metrics.message_size);
       ("edge_load", histogram m.Metrics.edge_load);
       ("memory", histogram (Metrics.memory_hist m));

@@ -5,6 +5,7 @@ type spec = {
   delay : float;
   max_delay : int;
   link_failures : (int * int * int) list;
+  link_flaps : (int * int * int * int) list;
   crashes : (int * int) list;
 }
 
@@ -16,19 +17,26 @@ let none =
     delay = 0.0;
     max_delay = 0;
     link_failures = [];
+    link_flaps = [];
     crashes = [];
   }
+
+let is_none s =
+  s.drop = 0.0 && s.duplicate = 0.0 && s.delay = 0.0 && s.link_failures = []
+  && s.link_flaps = [] && s.crashes = []
 
 type verdict = Deliver | Drop | Duplicate | Delay of int
 
 type t = {
   spec : spec;
   rng : Random.State.t;
-  (* (u lsl 31) lor v -> first round at which the directed edge u->v no
-     longer carries messages; both directions of an undirected failure are
-     registered. The packed int key keeps the per-message [link_down] lookup
-     free of tuple allocation (vertex ids are array indices, far below 2^31). *)
-  down : (int, int) Hashtbl.t;
+  (* (u lsl 31) lor v -> outage windows [from, until) of the directed edge
+     u->v, permanent failures encoded as [(r, max_int)]; both directions of
+     an undirected failure or flap are registered. The packed int key keeps
+     the per-message [link_down] lookup free of tuple allocation (vertex ids
+     are array indices, far below 2^31); window lists are tiny (one entry
+     per registered failure/flap of that edge). *)
+  down : (int, (int * int) list) Hashtbl.t;
   crash : (int, int) Hashtbl.t;
 }
 
@@ -44,17 +52,30 @@ let make spec =
   check_prob "delay" spec.delay;
   if spec.max_delay < 0 then invalid_arg "Fault.make: negative max_delay";
   let down = Hashtbl.create 16 in
+  let note_window u v from until =
+    let note a b =
+      let prev =
+        match Hashtbl.find_opt down (edge_key a b) with
+        | Some ws -> ws
+        | None -> []
+      in
+      Hashtbl.replace down (edge_key a b) ((from, until) :: prev)
+    in
+    note u v;
+    note v u
+  in
   List.iter
     (fun (u, v, r) ->
       if r < 0 then invalid_arg "Fault.make: negative link-failure round";
-      let note a b =
-        match Hashtbl.find_opt down (edge_key a b) with
-        | Some r' when r' <= r -> ()
-        | _ -> Hashtbl.replace down (edge_key a b) r
-      in
-      note u v;
-      note v u)
+      note_window u v r max_int)
     spec.link_failures;
+  List.iter
+    (fun (u, v, from, until) ->
+      if from < 0 then invalid_arg "Fault.make: negative link-flap round";
+      if until <= from then
+        invalid_arg "Fault.make: link-flap window must end after it starts";
+      note_window u v from until)
+    spec.link_flaps;
   let crash = Hashtbl.create 16 in
   List.iter
     (fun (v, r) ->
@@ -69,7 +90,8 @@ let spec t = t.spec
 
 let link_down t ~round u v =
   match Hashtbl.find_opt t.down (edge_key u v) with
-  | Some r -> round >= r
+  | Some windows ->
+    List.exists (fun (from, until) -> round >= from && round < until) windows
   | None -> false
 
 let crash_round t v = Hashtbl.find_opt t.crash v

@@ -23,6 +23,12 @@ type spec = {
   max_delay : int;  (** delayed messages arrive 1..max_delay rounds late *)
   link_failures : (int * int * int) list;
       (** [(u, v, r)]: the undirected link u—v drops everything from round r on *)
+  link_flaps : (int * int * int * int) list;
+      (** [(u, v, from, until)]: a transient outage — the undirected link u—v
+          drops everything in rounds [from, until), then carries traffic
+          again. This is how churn-generated flaps reach a running protocol:
+          {!Churn.to_fault_spec} compiles a mutation stream into these
+          windows. *)
   crashes : (int * int) list;
       (** [(v, r)]: vertex v crash-stops at round r — it executes no round ≥ r
           and everything addressed to it from then on is lost *)
@@ -31,6 +37,14 @@ type spec = {
 val none : spec
 (** The empty plan: seed 0, all probabilities 0, no failures. Override fields
     with [{ Fault.none with drop = 0.05; seed = 7 }]. *)
+
+val is_none : spec -> bool
+(** [is_none s] holds when the plan injects nothing: all probabilities 0 and
+    no link failures, flaps or crashes. [seed] and [max_delay] are ignored —
+    on their own they alter no message (a lesson from a past regression where
+    structural comparison against a default-[max_delay] record silently
+    forced every run onto the reliable transport). Use this, never [(=)]
+    against {!none}, to decide whether a spec is a real fault plan. *)
 
 type t
 (** A compiled, stateful plan. *)

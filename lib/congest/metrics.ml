@@ -9,6 +9,12 @@ type t = {
   mutable duplicated : int;
   mutable delayed : int;
   mutable retransmitted : int;
+  mutable churn_inserts : int;
+  mutable churn_deletes : int;
+  mutable churn_reweights : int;
+  mutable churn_joins : int;
+  mutable churn_leaves : int;
+  mutable churn_flaps : int;
   message_size : Histogram.t;
   edge_load : Histogram.t;
 }
@@ -25,6 +31,12 @@ let create ~n =
     duplicated = 0;
     delayed = 0;
     retransmitted = 0;
+    churn_inserts = 0;
+    churn_deletes = 0;
+    churn_reweights = 0;
+    churn_joins = 0;
+    churn_leaves = 0;
+    churn_flaps = 0;
     message_size = Histogram.create ();
     edge_load = Histogram.create ();
   }
@@ -53,6 +65,12 @@ let merge a b =
     duplicated = a.duplicated + b.duplicated;
     delayed = a.delayed + b.delayed;
     retransmitted = a.retransmitted + b.retransmitted;
+    churn_inserts = a.churn_inserts + b.churn_inserts;
+    churn_deletes = a.churn_deletes + b.churn_deletes;
+    churn_reweights = a.churn_reweights + b.churn_reweights;
+    churn_joins = a.churn_joins + b.churn_joins;
+    churn_leaves = a.churn_leaves + b.churn_leaves;
+    churn_flaps = a.churn_flaps + b.churn_flaps;
     message_size = Histogram.merge a.message_size b.message_size;
     edge_load = Histogram.merge a.edge_load b.edge_load;
   }
@@ -65,4 +83,13 @@ let pp ppf t =
     (peak_memory_avg t);
   if t.dropped + t.duplicated + t.delayed + t.retransmitted > 0 then
     Format.fprintf ppf " dropped=%d dup=%d delayed=%d retx=%d" t.dropped
-      t.duplicated t.delayed t.retransmitted
+      t.duplicated t.delayed t.retransmitted;
+  let churn =
+    t.churn_inserts + t.churn_deletes + t.churn_reweights + t.churn_joins
+    + t.churn_leaves + t.churn_flaps
+  in
+  if churn > 0 then
+    Format.fprintf ppf
+      " churn[ins=%d del=%d rew=%d join=%d leave=%d flap=%d]" t.churn_inserts
+      t.churn_deletes t.churn_reweights t.churn_joins t.churn_leaves
+      t.churn_flaps

@@ -28,6 +28,12 @@ type t = {
   mutable duplicated : int;  (** extra copies injected by the fault plan *)
   mutable delayed : int;  (** messages deferred by the fault plan *)
   mutable retransmitted : int;  (** repair sends by the {!Reliable} layer *)
+  mutable churn_inserts : int;  (** topology mutations applied, per class; *)
+  mutable churn_deletes : int;  (** bumped by {!Churn.note} as a stream is *)
+  mutable churn_reweights : int;  (** consumed, so a run's ledger records *)
+  mutable churn_joins : int;  (** what the network did structurally as *)
+  mutable churn_leaves : int;  (** well as what it did to messages; *)
+  mutable churn_flaps : int;  (** flap counts both legs of each flap *)
   message_size : Histogram.t;  (** words per message, over all sends *)
   edge_load : Histogram.t;
       (** messages per (directed edge, active round); only rounds in which

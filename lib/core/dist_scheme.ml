@@ -39,6 +39,26 @@ module R = Congest.Reliable.Make (M)
 
 type transport = (module Congest.Sim.TRANSPORT with type msg = msg)
 
+type failure =
+  | Setup_timeout of { vertex : int; round : int }
+  | Stalled of { vertex : int; round : int; phase : string; superstep : int }
+  | Link_lost of { vertex : int; neighbor : int; reason : string }
+  | Harvest of { vertex : int; reason : string }
+  | Transport of string
+
+let failure_to_string = function
+  | Setup_timeout { vertex; round } ->
+    Printf.sprintf "v%d: setup timed out: no phase start by round %d" vertex round
+  | Stalled { vertex; round; phase; superstep } ->
+    Printf.sprintf "v%d: watchdog: no traffic or progress by round %d (phase %s, superstep %d)"
+      vertex round phase superstep
+  | Link_lost { vertex; neighbor; reason } ->
+    Printf.sprintf "v%d: link to v%d lost: %s" vertex neighbor reason
+  | Harvest { vertex; reason } -> Printf.sprintf "v%d: %s" vertex reason
+  | Transport s -> s
+
+let pp_failure ppf f = Format.pp_print_string ppf (failure_to_string f)
+
 type outcome = {
   exact : Scheme.Exact_stage.t;
   virtual_rows : (int * (int * float) list) list;
@@ -46,7 +66,7 @@ type outcome = {
   members : int list;
   report : Congest.Metrics.t;
   phase_rounds : (string * int) list;
-  failures : string list;
+  failures : failure list;
 }
 
 (* Per-source wave entry held by one vertex: current best distance, the port
@@ -54,7 +74,7 @@ type outcome = {
    barrier snapshot. *)
 type entry = { mutable d : float; mutable port : int; mutable dirty : bool }
 
-type action = A_bfs_echo_check | A_decide | A_complete | A_setup_check
+type action = A_bfs_echo_check | A_decide | A_complete | A_watchdog
 
 let run ~rng ~k ?b ?faults ?reliable ?config ?trace ?max_rounds ?scheduler g =
   if k < 2 then invalid_arg "Dist_scheme.run: k >= 2 required";
@@ -118,8 +138,16 @@ let run ~rng ~k ?b ?faults ?reliable ?config ?trace ?max_rounds ?scheduler g =
   let phase_marks = ref [] in
   (* measured per-vertex protocol words, max per phase (index = phase + 1) *)
   let phase_peak = Array.make (n_phases + 1) 0 in
-  let failures = ref [] in
-  let fail v s = failures := Printf.sprintf "v%d: %s" v s :: !failures in
+  (* Under Reliable a masked delivery may back off for ~2^max_retries ×
+     ack_timeout rounds before the link is declared dead, so the stall
+     interval must dominate that: shorter and a healthy faulted run could
+     trip the watchdog during a retransmission streak. *)
+  let watchdog_interval =
+    if use_reliable then max ((4 * n) + 64) 1100 else (4 * n) + 64
+  in
+  let failures : failure list ref = ref [] in
+  let fail_t f = failures := f :: !failures in
+  let fail v s = fail_t (Harvest { vertex = v; reason = s }) in
 
   let node ((module T) : transport) ~me ~(neighbors : int array)
       ~(weights : float array) =
@@ -151,7 +179,8 @@ let run ~rng ~k ?b ?faults ?reliable ?config ?trace ?max_rounds ?scheduler g =
     and phase_start = ref 0
     and virtual_nbrs = ref 0
     and finished = ref false
-    and last_drain = ref (-1) in
+    and last_drain = ref (-1)
+    and last_progress = ref 0 in
     (* ---- wave state ---- *)
     let p_dist = ref infinity and p_src = ref (-1) and p_port = ref (-1) in
     let p_dirty = ref false in
@@ -402,12 +431,29 @@ let run ~rng ~k ?b ?faults ?reliable ?config ?trace ?max_rounds ?scheduler g =
           snapshot ()
         end
       | A_complete -> maybe_complete ()
-      | A_setup_check ->
-        if !phase < 0 then begin
-          fail me
-            (Printf.sprintf "setup timed out: no phase start by round %d"
-               (T.round ()));
-          finished := true
+      | A_watchdog ->
+        (* Typed-failure path under crash-stop faults: a vertex that has
+           neither received a message nor advanced a barrier for a whole
+           interval declares the stage wedged instead of hanging forever.
+           The interval dominates any legal barrier span (a superstep
+           drains at most ~n/2 rounds per port), so a healthy run never
+           trips it. *)
+        if not !finished then begin
+          if T.round () - !last_progress >= watchdog_interval then begin
+            (if !phase < 0 then
+               fail_t (Setup_timeout { vertex = me; round = T.round () })
+             else
+               fail_t
+                 (Stalled
+                    {
+                      vertex = me;
+                      round = T.round ();
+                      phase = phase_name !phase;
+                      superstep = !superstep;
+                    }));
+            finished := true
+          end
+          else schedule (T.round () + watchdog_interval) A_watchdog
         end
     in
     let drain () =
@@ -432,7 +478,7 @@ let run ~rng ~k ?b ?faults ?reliable ?config ?trace ?max_rounds ?scheduler g =
         (fun (p, why) ->
           if not (List.mem p !dead_seen) then begin
             dead_seen := p :: !dead_seen;
-            fail me (Printf.sprintf "link to v%d lost: %s" neighbors.(p) why);
+            fail_t (Link_lost { vertex = me; neighbor = neighbors.(p); reason = why });
             (* every edge carries wave data: any dead link breaks the stage *)
             finished := true
           end)
@@ -449,7 +495,7 @@ let run ~rng ~k ?b ?faults ?reliable ?config ?trace ?max_rounds ?scheduler g =
       done;
       schedule 3 A_bfs_echo_check
     end;
-    schedule ((4 * n) + 64) A_setup_check;
+    schedule watchdog_interval A_watchdog;
     update_mem ();
     let next_deadline () =
       let a = match !agenda with [] -> max_int | (r, _) :: _ -> r in
@@ -459,6 +505,7 @@ let run ~rng ~k ?b ?faults ?reliable ?config ?trace ?max_rounds ?scheduler g =
       if not !finished then begin
         let dl = next_deadline () in
         let inbox = if dl = max_int then T.wait () else T.wait_until dl in
+        if inbox <> [] then last_progress := T.round ();
         (* control first: an Offer sharing the inbox with the Advance/Next
            that opens its superstep comes from a one-round-shallower BFS
            neighbour and belongs to the state that barrier installs (old
@@ -506,8 +553,8 @@ let run ~rng ~k ?b ?faults ?reliable ?config ?trace ?max_rounds ?scheduler g =
   (match report.Congest.Sim.outcome with
   | Congest.Sim.Completed -> ()
   | Congest.Sim.Deadlocked _ as oc ->
-    failures := Format.asprintf "%a" Congest.Sim.pp_outcome oc :: !failures
-  | Congest.Sim.Round_limit -> failures := "round limit exceeded" :: !failures);
+    fail_t (Transport (Format.asprintf "%a" Congest.Sim.pp_outcome oc))
+  | Congest.Sim.Round_limit -> fail_t (Transport "round limit exceeded"));
   (* ---- harvest: per-vertex state -> the Exact_stage interchange record ---- *)
   let clusters = ref [] in
   if !failures = [] then

@@ -48,6 +48,24 @@
     {e trees} are excluded — the distributed parents are valid shortest-path
     parents but break ties by message arrival rather than heap order. *)
 
+type failure =
+  | Setup_timeout of { vertex : int; round : int }
+      (** the BFS/levels setup never opened phase 0 at this vertex *)
+  | Stalled of { vertex : int; round : int; phase : string; superstep : int }
+      (** watchdog: no message traffic and no barrier progress for a whole
+          interval — the typed outcome of a wedged stage (e.g. a crash-stop
+          fault partitioning the barrier tree) instead of a hang *)
+  | Link_lost of { vertex : int; neighbor : int; reason : string }
+      (** the reliable layer declared an incident edge dead; every edge
+          carries wave data, so the stage cannot complete *)
+  | Harvest of { vertex : int; reason : string }
+      (** harvested per-vertex state is inconsistent (rejected cluster
+          tree, non-adjacent parent, …) *)
+  | Transport of string  (** simulator-level outcome: deadlock, round limit *)
+
+val failure_to_string : failure -> string
+val pp_failure : Format.formatter -> failure -> unit
+
 type outcome = {
   exact : Scheme.Exact_stage.t;
       (** levels, exact distances/pivots, clusters — with {e measured}
@@ -62,7 +80,7 @@ type outcome = {
   phase_rounds : (string * int) list;
       (** measured rounds per protocol phase, chronological (virtual rounds
           over {!Congest.Reliable} — identical to the fault-free run) *)
-  failures : string list;  (** empty iff the protocol completed cleanly *)
+  failures : failure list;  (** empty iff the protocol completed cleanly *)
 }
 
 val run :

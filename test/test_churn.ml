@@ -1,0 +1,273 @@
+(* Churn subsystem: deterministic streams, fault-plan compilation, and the
+   incremental maintainer checked bit-exactly against the shadow oracle. *)
+
+module Churn = Congest.Churn
+module Fault = Congest.Fault
+module Dyn = Routing.Dyn_scheme
+
+let mkgraph topology ~seed =
+  let rng = Random.State.make [| seed |] in
+  let weights = Dgraph.Gen.uniform_weights 1.0 8.0 in
+  match topology with
+  | `Grid -> Dgraph.Gen.grid ~rng ~weights ~rows:5 ~cols:5 ()
+  | `Torus -> Dgraph.Gen.torus ~rng ~weights ~rows:4 ~cols:4 ()
+  | `Er -> Dgraph.Gen.connected_erdos_renyi ~rng ~weights ~n:24 ~avg_deg:4.0 ()
+
+let topo_name = function `Grid -> "grid" | `Torus -> "torus" | `Er -> "er"
+
+(* ------------------------------------------------------------------ *)
+(* Stream generation. *)
+
+let test_stream_deterministic () =
+  let g = Churn.add_spare ~spare:4 (mkgraph `Grid ~seed:7) in
+  let spec = { Churn.default_spec with seed = 42; events = 80 } in
+  let a = Churn.generate spec g in
+  let b = Churn.generate spec g in
+  Alcotest.(check bool) "same stream for same spec" true (a = b);
+  Alcotest.(check int) "length" 80 (List.length a);
+  List.iteri
+    (fun i (e : Churn.event) ->
+      Alcotest.(check int) "generations are 1.." (i + 1) e.gen)
+    a;
+  let c = Churn.generate { spec with seed = 43 } g in
+  Alcotest.(check bool) "different seed, different stream" true (a <> c)
+
+let test_stream_valid () =
+  List.iter
+    (fun topology ->
+      List.iter
+        (fun seed ->
+          let g = Churn.add_spare ~spare:4 (mkgraph topology ~seed) in
+          let spec = { Churn.default_spec with seed; events = 120 } in
+          let events = Churn.generate spec g in
+          (* applicable in order — Churn.apply raises on any invalid op *)
+          let final = Churn.apply_all g events in
+          (* the core (non-isolated vertices) stays connected *)
+          let comp = Dgraph.Graph.components final in
+          let label = ref (-1) in
+          let ok = ref true in
+          for v = 0 to Dgraph.Graph.n final - 1 do
+            if Dgraph.Graph.degree final v > 0 then
+              if !label < 0 then label := comp.(v)
+              else if comp.(v) <> !label then ok := false
+          done;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%d core connected" (topo_name topology) seed)
+            true !ok)
+        [ 1; 2 ])
+    [ `Grid; `Torus; `Er ]
+
+let test_flaps_restore () =
+  let g = Churn.add_spare ~spare:2 (mkgraph `Torus ~seed:3) in
+  let spec =
+    { Churn.default_spec with
+      seed = 5;
+      events = 100;
+      rates = { Churn.default_rates with flap = 0.6 };
+    }
+  in
+  let events = Churn.generate spec g in
+  (* every flap-down leg has a matching restore leg later in the stream *)
+  let open_flaps = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Churn.event) ->
+      if e.flap then
+        match e.op with
+        | Churn.Delete { u; v } -> Hashtbl.replace open_flaps (min u v, max u v) e.gen
+        | Churn.Insert { u; v; _ } ->
+          Alcotest.(check bool)
+            "restore leg matches an open flap" true
+            (Hashtbl.mem open_flaps (min u v, max u v));
+          Hashtbl.remove open_flaps (min u v, max u v)
+        | _ -> Alcotest.fail "flap leg must be Delete or Insert")
+    events;
+  Alcotest.(check int) "all flaps restored in-stream" 0 (Hashtbl.length open_flaps);
+  Alcotest.(check bool) "stream contains flaps" true
+    (List.exists (fun (e : Churn.event) -> e.flap) events)
+
+(* ------------------------------------------------------------------ *)
+(* Fault-plan compilation. *)
+
+let test_fault_compile () =
+  let events =
+    [
+      { Churn.gen = 1; op = Churn.Delete { u = 0; v = 1 }; flap = true };
+      { Churn.gen = 2; op = Churn.Delete { u = 2; v = 3 }; flap = false };
+      { Churn.gen = 3; op = Churn.Leave { v = 7 }; flap = false };
+      { Churn.gen = 4; op = Churn.Insert { u = 0; v = 1; w = 2.0 }; flap = true };
+    ]
+  in
+  let spec = Churn.to_fault_spec events ~gen_round:(fun g -> 10 * g) ~base:Fault.none in
+  Alcotest.(check bool) "flap window" true (spec.Fault.link_flaps = [ (0, 1, 10, 40) ]);
+  Alcotest.(check bool) "permanent failure" true
+    (List.mem (2, 3, 20) spec.Fault.link_failures);
+  Alcotest.(check bool) "crash" true (List.mem (7, 30) spec.Fault.crashes);
+  let t = Fault.make spec in
+  Alcotest.(check bool) "down inside window" true (Fault.link_down t ~round:25 0 1);
+  Alcotest.(check bool) "up before window" false (Fault.link_down t ~round:9 0 1);
+  Alcotest.(check bool) "up after restore" false (Fault.link_down t ~round:40 0 1);
+  Alcotest.(check bool) "permanent stays down" true (Fault.link_down t ~round:5000 2 3)
+
+let test_is_none () =
+  Alcotest.(check bool) "none is none" true (Fault.is_none Fault.none);
+  Alcotest.(check bool) "seed/max_delay do not matter" true
+    (Fault.is_none { Fault.none with seed = 99; max_delay = 7 });
+  Alcotest.(check bool) "a flap makes it real" false
+    (Fault.is_none { Fault.none with link_flaps = [ (0, 1, 2, 3) ] });
+  Alcotest.(check bool) "a drop makes it real" false
+    (Fault.is_none { Fault.none with drop = 0.1 })
+
+let test_metrics_counters () =
+  let m = Congest.Metrics.create ~n:4 in
+  let ev gen op flap = { Churn.gen; op; flap } in
+  Churn.note m (ev 1 (Churn.Insert { u = 0; v = 1; w = 1.0 }) false);
+  Churn.note m (ev 2 (Churn.Delete { u = 0; v = 1 }) true);
+  Churn.note m (ev 3 (Churn.Leave { v = 2 }) false);
+  Churn.note m (ev 4 (Churn.Reweight { u = 0; v = 1; w = 2.0 }) false);
+  Alcotest.(check int) "inserts" 1 m.Congest.Metrics.churn_inserts;
+  Alcotest.(check int) "flaps (either leg)" 1 m.Congest.Metrics.churn_flaps;
+  Alcotest.(check int) "deletes exclude flap legs" 0 m.Congest.Metrics.churn_deletes;
+  Alcotest.(check int) "leaves" 1 m.Congest.Metrics.churn_leaves;
+  Alcotest.(check int) "reweights" 1 m.Congest.Metrics.churn_reweights
+
+(* ------------------------------------------------------------------ *)
+(* Incremental maintainer vs the shadow oracle. *)
+
+let run_gate ~topology ~seed ~k ~events ~checkpoint =
+  let g = Churn.add_spare ~spare:4 (mkgraph topology ~seed) in
+  let rng = Random.State.make [| 0xd1; seed |] in
+  let t = Dyn.create ~rng ~k g in
+  let stream = Churn.generate { Churn.default_spec with seed; events } g in
+  List.iter
+    (fun (e : Churn.event) ->
+      let _ = Dyn.apply t e in
+      if e.gen mod checkpoint = 0 || e.gen = events then
+        match Dyn.check_against_shadow t with
+        | [] -> ()
+        | errs ->
+          Alcotest.failf "%s/%d k=%d gen %d: %d divergences, first: %s"
+            (topo_name topology) seed k e.gen (List.length errs) (List.hd errs))
+    stream
+
+let test_shadow_gate () =
+  List.iter
+    (fun topology ->
+      List.iter
+        (fun seed ->
+          List.iter
+            (fun k -> run_gate ~topology ~seed ~k ~events:60 ~checkpoint:5)
+            [ 2; 3 ])
+        [ 1; 2 ])
+    [ `Grid; `Torus; `Er ]
+
+let test_shadow_gate_k1 () = run_gate ~topology:`Grid ~seed:3 ~k:1 ~events:40 ~checkpoint:4
+
+let test_deferred_routing () =
+  let g = Churn.add_spare ~spare:4 (mkgraph `Grid ~seed:11) in
+  let rng = Random.State.make [| 0xd2 |] in
+  let t = Dyn.create ~rng ~k:3 g in
+  let stream = Churn.generate { Churn.default_spec with seed = 11; events = 40 } g in
+  let n = Dgraph.Graph.n g in
+  List.iter
+    (fun (e : Churn.event) ->
+      let r = Dyn.apply ~defer:true t e in
+      Alcotest.(check int) "deferred apply repairs nothing" 0 (List.length r);
+      (* degraded routing keeps answering for surviving connected pairs *)
+      let cur = Dyn.current t in
+      for src = 0 to n - 1 do
+        let dst = (src + 7) mod n in
+        if src <> dst && Dgraph.Graph.degree cur src > 0 && Dgraph.Graph.degree cur dst > 0
+        then
+          match Dyn.route t ~src ~dst with
+          | Ok reply ->
+            Alcotest.(check bool) "stale replies only while pending" true
+              (match reply.Dyn.source with
+              | Dyn.Stale _ | Dyn.Recomputed -> true
+              | Dyn.Fresh -> false)
+          | Error Tz.Routing_error.Unreachable -> ()  (* split pair *)
+          | Error e -> Alcotest.failf "route: %s" (Tz.Routing_error.to_string e)
+      done)
+    stream;
+  let repairs = Dyn.quiesce t in
+  Alcotest.(check int) "quiesce repairs the backlog" 40 (List.length repairs);
+  (match Dyn.check_against_shadow t with
+  | [] -> ()
+  | e :: _ -> Alcotest.failf "post-quiesce gate: %s" e);
+  match Dyn.route t ~src:0 ~dst:(n - 1) with
+  | Ok reply ->
+    Alcotest.(check bool) "fresh after quiesce" true (reply.Dyn.source = Dyn.Fresh)
+  | Error _ -> ()
+
+let test_rebuild_trigger () =
+  (* a trigger of 0 forces every repair down the bounded-rebuild path; the
+     gate must still pass *)
+  let g = Churn.add_spare ~spare:2 (mkgraph `Torus ~seed:9) in
+  let rng = Random.State.make [| 0xd3 |] in
+  let t = Dyn.create ~params:{ Dyn.rebuild_trigger = 0.0 } ~rng ~k:2 g in
+  let stream = Churn.generate { Churn.default_spec with seed = 9; events = 20 } g in
+  let repairs = List.concat_map (fun e -> Dyn.apply t e) stream in
+  Alcotest.(check bool) "all repairs escalate" true
+    (List.for_all (fun r -> r.Dyn.full_rebuild) repairs);
+  Alcotest.(check int) "stats count the escalations" 20 (Dyn.stats t).Dyn.full_rebuilds;
+  match Dyn.check_against_shadow t with
+  | [] -> ()
+  | e :: _ -> Alcotest.failf "gate under forced rebuilds: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Property: after repair quiesces, every surviving connected pair routes
+   within the Thorup–Zwick stretch bound on the current graph. *)
+
+let prop_stretch =
+  QCheck.Test.make ~count:12 ~name:"churn preserves the 4k-3 stretch bound"
+    QCheck.(triple (int_range 0 2) (int_range 1 1000) (int_range 2 3))
+    (fun (topo_idx, seed, k) ->
+      let topology = List.nth [ `Grid; `Torus; `Er ] topo_idx in
+      let g = Churn.add_spare ~spare:3 (mkgraph topology ~seed) in
+      let rng = Random.State.make [| 0xd4; seed |] in
+      let t = Dyn.create ~rng ~k g in
+      let stream = Churn.generate { Churn.default_spec with seed; events = 50 } g in
+      List.iter (fun e -> ignore (Dyn.apply t e)) stream;
+      let cur = Dyn.current t in
+      let n = Dgraph.Graph.n cur in
+      let bound = float_of_int ((4 * k) - 3) +. 1e-6 in
+      let ok = ref true in
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          if src <> dst then
+            match Dyn.route t ~src ~dst with
+            | Ok { Dyn.stretch = Some s; _ } -> if s > bound then ok := false
+            | Ok _ -> ()
+            | Error Tz.Routing_error.Unreachable ->
+              (* only genuinely disconnected pairs may fail *)
+              let comp = Dgraph.Graph.components cur in
+              if comp.(src) = comp.(dst) then ok := false
+            | Error _ -> ok := false
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "churn"
+    [
+      ( "stream",
+        [
+          Alcotest.test_case "deterministic" `Quick test_stream_deterministic;
+          Alcotest.test_case "valid and core-connected" `Quick test_stream_valid;
+          Alcotest.test_case "flaps restore" `Quick test_flaps_restore;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "compile to fault plan" `Quick test_fault_compile;
+          Alcotest.test_case "is_none" `Quick test_is_none;
+          Alcotest.test_case "metrics counters" `Quick test_metrics_counters;
+        ] );
+      ( "dyn",
+        [
+          Alcotest.test_case "shadow gate (3 topologies)" `Slow test_shadow_gate;
+          Alcotest.test_case "shadow gate k=1" `Quick test_shadow_gate_k1;
+          Alcotest.test_case "deferred + degraded routing" `Quick test_deferred_routing;
+          Alcotest.test_case "forced bounded rebuilds" `Quick test_rebuild_trigger;
+        ] );
+      ( "property",
+        [ QCheck_alcotest.to_alcotest ~long:false prop_stretch ] );
+    ]

@@ -20,7 +20,9 @@ let run_gate ?b ?faults ?reliable ~seed ~k g =
   in
   if o.Routing.Dist_scheme.failures <> [] then
     Alcotest.failf "protocol failures: %s"
-      (String.concat " | " o.Routing.Dist_scheme.failures);
+      (String.concat " | "
+         (List.map Routing.Dist_scheme.failure_to_string
+            o.Routing.Dist_scheme.failures));
   let errs = Routing.Dist_scheme.check_against_centralized ~rng:(rng seed) g o in
   if errs <> [] then
     Alcotest.failf "%d divergences vs centralized: %s" (List.length errs)
@@ -172,7 +174,9 @@ let test_build_scheme_matches_centralized () =
   let o = Routing.Dist_scheme.run ~rng:r2 ~k ~max_rounds:500_000 g in
   if o.Routing.Dist_scheme.failures <> [] then
     Alcotest.failf "protocol failures: %s"
-      (String.concat " | " o.Routing.Dist_scheme.failures);
+      (String.concat " | "
+         (List.map Routing.Dist_scheme.failure_to_string
+            o.Routing.Dist_scheme.failures));
   (* r2 is now positioned exactly where build's sampling left r1, so the
      hopset construction draws the same stream; parameters and the virtual
      graph are identical. The schemes as a whole are NOT bit-identical:
@@ -209,6 +213,44 @@ let test_build_scheme_matches_centralized () =
     end
   done
 
+(* ---------- watchdog: typed failures under crash-stop faults ---------- *)
+
+let test_watchdog_crash () =
+  (* crash an interior vertex early: the barrier tree is cut, the stage can
+     never complete — the run must terminate with typed failures (the
+     crash's neighbours see Link_lost, stalled survivors trip the watchdog)
+     rather than hang or report an untyped string *)
+  let g = Gen.grid ~rng:(rng 4) ~rows:4 ~cols:4 () in
+  let faults =
+    Congest.Fault.make { Congest.Fault.none with crashes = [ (5, 40) ] }
+  in
+  let o =
+    Routing.Dist_scheme.run ~rng:(rng 4) ~k:2 ~faults ~max_rounds:100_000 g
+  in
+  (match o.Routing.Dist_scheme.failures with
+  | [] -> Alcotest.fail "crash-stop run reported no failures"
+  | fs ->
+    let typed =
+      List.exists
+        (function
+          | Routing.Dist_scheme.Stalled _ | Routing.Dist_scheme.Link_lost _
+          | Routing.Dist_scheme.Setup_timeout _ ->
+            true
+          | Routing.Dist_scheme.Harvest _ | Routing.Dist_scheme.Transport _ ->
+            false)
+        fs
+    in
+    if not typed then
+      Alcotest.failf "no watchdog/link failure among: %s"
+        (String.concat " | " (List.map Routing.Dist_scheme.failure_to_string fs)));
+  (* rendering stays human-readable *)
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        "failure_to_string non-empty" true
+        (String.length (Routing.Dist_scheme.failure_to_string f) > 0))
+    o.Routing.Dist_scheme.failures
+
 let () =
   Alcotest.run "dist_scheme"
     [
@@ -227,6 +269,8 @@ let () =
           Alcotest.test_case "gate holds under faults" `Quick
             test_gate_under_faults;
           Alcotest.test_case "deterministic per seed" `Quick test_deterministic;
+          Alcotest.test_case "watchdog under crash-stop" `Quick
+            test_watchdog_crash;
         ] );
       ( "bounded BF",
         [
