@@ -1269,13 +1269,151 @@ let churn_bench () =
       ("rows", J.Arr (List.rev !jrows));
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Traffic: the query-serving plane                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Compile the built scheme into the packed serving structures, prove them
+   bit-identical to the centralized reference on random pairs, then push
+   synthetic traffic matrices through the forwarding engine. The smoke
+   variant runs the same pipeline (including the differential gate) at
+   CI-friendly sizes. *)
+let traffic_bench ?(smoke = false) () =
+  header
+    (if smoke then "Traffic (smoke): packed serving plane, differential-gated"
+     else
+       "Traffic: packed forwarding engine under synthetic matrices \
+        (differential-gated against Graph_routing/Oracle)");
+  Printf.printf "%-8s %4s %6s %-8s | %9s %9s | %5s %5s %5s | %7s %7s %6s\n"
+    "topology" "seed" "n" "model" "queries" "qps" "p50" "p95" "max" "maxload"
+    "spmax" "fail";
+  line ();
+  let k = 3 in
+  let side = if smoke then 16 else 64 in
+  let n = side * side in
+  let per_model = if smoke then 3_000 else 350_000 in
+  let gate_pairs = 2_000 in
+  let jrows = ref [] in
+  let run_graph (tname, g) seed =
+    let brng = rng (7100 + seed) in
+    let h = Tz.Hierarchy.build ~rng:brng ~k g in
+    let clusters = Tz.Cluster.all g h in
+    let gr = Tz.Graph_routing.of_parts ~k g h clusters in
+    let oracle = Tz.Oracle.of_hierarchy g h in
+    let packed = Serve.Packed_router.of_graph_routing gr in
+    let poracle = Serve.Packed_oracle.of_oracle oracle in
+    (* the gate: no perf claim before bit-identity is proven *)
+    let grng = rng (7200 + seed) in
+    (match Serve.Differential.check_router ~rng:grng gr packed ~pairs:gate_pairs with
+    | [] -> ()
+    | e :: _ ->
+      failwith (Printf.sprintf "traffic %s/%d: router gate: %s" tname seed e));
+    (match
+       Serve.Differential.check_oracle ~rng:grng oracle poracle ~pairs:gate_pairs
+     with
+    | [] -> ()
+    | e :: _ ->
+      failwith (Printf.sprintf "traffic %s/%d: oracle gate: %s" tname seed e));
+    (* packed vs hashtbl oracle throughput on one shared pair sample *)
+    let opairs =
+      Serve.Traffic.generate ~rng:(rng (7300 + seed)) Serve.Traffic.Uniform g
+        ~queries:(if smoke then 20_000 else 200_000)
+    in
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Unix.gettimeofday () -. t0
+    in
+    let sink = ref 0.0 in
+    let s_ref =
+      time (fun () ->
+          Array.iter (fun (u, v) -> sink := !sink +. Tz.Oracle.query oracle u v) opairs)
+    in
+    let s_packed =
+      time (fun () ->
+          Array.iter (fun (u, v) -> sink := !sink +. Serve.Packed_oracle.query poracle u v) opairs)
+    in
+    let oracle_qps s =
+      if s > 0.0 then float_of_int (Array.length opairs) /. s else 0.0
+    in
+    List.iter
+      (fun model ->
+        let mrng = rng (7400 + seed) in
+        let queries = Serve.Traffic.generate ~rng:mrng model g ~queries:per_model in
+        let st = Serve.Engine.run g packed queries in
+        let bound = float_of_int ((4 * k) - 3) in
+        if st.Serve.Engine.stretch_max > bound +. 1e-9 then
+          failwith
+            (Printf.sprintf "traffic %s/%d %s: stretch %.3f beyond 4k-3 = %.0f"
+               tname seed (Serve.Traffic.name model)
+               st.Serve.Engine.stretch_max bound);
+        Printf.printf
+          "%-8s %4d %6d %-8s | %9d %9.0f | %5.2f %5.2f %5.2f | %7d %7d %6d\n"
+          tname seed n (Serve.Traffic.name model) st.Serve.Engine.queries
+          st.Serve.Engine.qps st.Serve.Engine.stretch_p50
+          st.Serve.Engine.stretch_p95 st.Serve.Engine.stretch_max
+          st.Serve.Engine.max_load st.Serve.Engine.base_max_load
+          st.Serve.Engine.failed;
+        jrows :=
+          J.Obj
+            [
+              ("topology", J.Str tname);
+              ("seed", J.Int seed);
+              ("n", J.Int n);
+              ("k", J.Int k);
+              ("model", J.Str (Serve.Traffic.name model));
+              ("queries", J.Int st.Serve.Engine.queries);
+              ("delivered", J.Int st.Serve.Engine.delivered);
+              ("failed", J.Int st.Serve.Engine.failed);
+              ("queries_per_sec", J.Float st.Serve.Engine.qps);
+              ("stretch_p50", J.Float st.Serve.Engine.stretch_p50);
+              ("stretch_p95", J.Float st.Serve.Engine.stretch_p95);
+              ("stretch_max", J.Float st.Serve.Engine.stretch_max);
+              ("stretch_avg", J.Float st.Serve.Engine.stretch_avg);
+              ("hops_p50", J.Int (Congest.Histogram.percentile st.Serve.Engine.hops 50));
+              ("hops_max", J.Int (Congest.Histogram.max_value st.Serve.Engine.hops));
+              ("max_edge_load", J.Int st.Serve.Engine.max_load);
+              ("sp_baseline_max_edge_load", J.Int st.Serve.Engine.base_max_load);
+              ( "congestion_vs_sp",
+                J.Float
+                  (if st.Serve.Engine.base_max_load = 0 then 0.0
+                   else
+                     float_of_int st.Serve.Engine.max_load
+                     /. float_of_int st.Serve.Engine.base_max_load) );
+              ("oracle_qps_hashtbl", J.Float (oracle_qps s_ref));
+              ("oracle_qps_packed", J.Float (oracle_qps s_packed));
+              ("router_words", J.Int (Serve.Packed_router.words packed));
+              ("differential_gate_pairs", J.Int gate_pairs);
+            ]
+          :: !jrows)
+      [ Serve.Traffic.Uniform; Serve.Traffic.Zipf 1.1; Serve.Traffic.Far_pairs ]
+  in
+  List.iter
+    (fun seed ->
+      run_graph ("grid", Gen.grid ~rng:(rng (7000 + seed)) ~rows:side ~cols:side ()) seed;
+      run_graph
+        ( "er",
+          Gen.connected_erdos_renyi ~rng:(rng (7001 + seed)) ~n ~avg_deg:4.0 () )
+        seed)
+    [ 1; 2 ];
+  Printf.printf
+    "differential gate: packed router/oracle identical to centralized on %d \
+     random pairs per graph\n"
+    gate_pairs;
+  emit_json "traffic"
+    [
+      ("smoke", J.Bool smoke);
+      ("per_model_queries", J.Int per_model);
+      ("rows", J.Arr (List.rev !jrows));
+    ]
+
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let all =
     [
       table2; table1; fig_a; fig_b; fig_c; fig_d; fig_e; fig_f; faults; timing;
       tree_bench; scheme_bench; (fun () -> tracecost ()); perf; distscheme;
-      churn_bench;
+      churn_bench; (fun () -> traffic_bench ());
     ]
   in
   match which with
@@ -1297,9 +1435,11 @@ let () =
   | "perf" -> perf ()
   | "distscheme" -> distscheme ()
   | "churn" -> churn_bench ()
+  | "traffic" -> traffic_bench ()
+  | "traffic-smoke" -> traffic_bench ~smoke:true ()
   | other ->
     Printf.eprintf
       "unknown experiment %S \
-       (table1|table2|figA|figB|figC|figD|figE|figF|faults|timing|tree|scheme|tracecost|tracecost-check|perf|distscheme|churn|all)\n"
+       (table1|table2|figA|figB|figC|figD|figE|figF|faults|timing|tree|scheme|tracecost|tracecost-check|perf|distscheme|churn|traffic|traffic-smoke|all)\n"
       other;
     exit 1

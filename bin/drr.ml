@@ -563,11 +563,13 @@ let churn_cmd =
   in
   let trigger_t =
     Arg.(
-      value & opt float 0.25
+      value & opt float 1.0
       & info [ "trigger" ] ~docv:"F"
           ~doc:
-            "Damage fraction of the whole structure beyond which a repair \
-             escalates to a full bounded rebuild.")
+            "Fraction of the last full build's round charge beyond which a \
+             repair whose support-subtree-depth estimate of the cluster \
+             regrows predicts it to cost escalates to a full bounded \
+             rebuild.")
   in
   let run seed n k topology events checkpoint spare trigger json =
     let module Churn = Congest.Churn in
@@ -671,6 +673,161 @@ let churn_cmd =
       const run $ seed_t $ n_t $ k_t $ topology_t $ events_t $ checkpoint_t
       $ spare_t $ trigger_t $ json_t)
 
+(* ---- traffic ---- *)
+
+let traffic_cmd =
+  let queries_t =
+    Arg.(
+      value & opt int 20_000
+      & info [ "queries" ] ~docv:"Q" ~doc:"Queries per traffic model.")
+  in
+  let model_t =
+    let alts = [ ("all", `All); ("uniform", `Uniform); ("zipf", `Zipf); ("far", `Far) ] in
+    let doc =
+      Printf.sprintf "Traffic model, one of %s." (Arg.doc_alts_enum alts)
+    in
+    Arg.(value & opt (enum alts) `All & info [ "model" ] ~docv:"MODEL" ~doc)
+  in
+  let zipf_s_t =
+    Arg.(
+      value & opt float 1.1
+      & info [ "zipf-s" ] ~docv:"S" ~doc:"Skew exponent of the Zipf model.")
+  in
+  let no_check_t =
+    Arg.(
+      value & flag
+      & info [ "no-check" ]
+          ~doc:
+            "Skip the differential gate proving the packed router and oracle \
+             bit-identical to the centralized reference.")
+  in
+  let run seed n k topology queries model zipf_s no_check json =
+    let g = make_graph ~seed ~n topology in
+    let rng = Random.State.make [| seed; 7 |] in
+    if not json then
+      Format.printf "serving traffic over %a (k=%d, stretch bound %d)@."
+        Graph.pp g k ((4 * k) - 3);
+    let h = Tz.Hierarchy.build ~rng ~k g in
+    let clusters = Tz.Cluster.all g h in
+    let gr = Tz.Graph_routing.of_parts ~k g h clusters in
+    let oracle = Tz.Oracle.of_hierarchy g h in
+    let packed = Serve.Packed_router.of_graph_routing gr in
+    let poracle = Serve.Packed_oracle.of_oracle oracle in
+    if not no_check then begin
+      let grng = Random.State.make [| seed; 8 |] in
+      let errs =
+        Serve.Differential.check_router ~rng:grng gr packed ~pairs:1000
+        @ Serve.Differential.check_oracle ~rng:grng oracle poracle ~pairs:1000
+      in
+      match errs with
+      | [] ->
+        if not json then
+          Format.printf
+            "differential gate: packed = centralized on 1000 router + 1000 \
+             oracle pairs@."
+      | e :: _ ->
+        Format.eprintf "differential gate FAILED: %s@." e;
+        exit 1
+    end;
+    let models =
+      match model with
+      | `All -> [ Serve.Traffic.Uniform; Serve.Traffic.Zipf zipf_s; Serve.Traffic.Far_pairs ]
+      | `Uniform -> [ Serve.Traffic.Uniform ]
+      | `Zipf -> [ Serve.Traffic.Zipf zipf_s ]
+      | `Far -> [ Serve.Traffic.Far_pairs ]
+    in
+    let trace = if json then Some (Congest.Trace.make ()) else None in
+    let clock = ref 0 in
+    let rows =
+      List.map
+        (fun m ->
+          let mrng = Random.State.make [| seed; 9 |] in
+          let pairs = Serve.Traffic.generate ~rng:mrng m g ~queries in
+          let st =
+            Serve.Engine.run ?trace ~label:(Serve.Traffic.name m)
+              ~clock0:!clock g packed pairs
+          in
+          clock := Serve.Engine.clock_after ~clock0:!clock st;
+          (m, st))
+        models
+    in
+    if json then
+      let open Congest.Export.Json in
+      print_endline
+        (to_string
+           (Obj
+              [
+                ("command", Str "traffic");
+                ("n", Int (Graph.n g));
+                ("m", Int (Graph.m g));
+                ("k", Int k);
+                ("seed", Int seed);
+                ("stretch_bound", Int ((4 * k) - 3));
+                ("router_words", Int (Serve.Packed_router.words packed));
+                ("oracle_words", Int (Serve.Packed_oracle.words poracle));
+                ( "models",
+                  Arr
+                    (List.map
+                       (fun ((m : Serve.Traffic.model), (st : Serve.Engine.stats)) ->
+                         Obj
+                           [
+                             ("model", Str (Serve.Traffic.name m));
+                             ("queries", Int st.queries);
+                             ("delivered", Int st.delivered);
+                             ("failed", Int st.failed);
+                             ("queries_per_sec", Float st.qps);
+                             ("stretch_p50", Float st.stretch_p50);
+                             ("stretch_p95", Float st.stretch_p95);
+                             ("stretch_max", Float st.stretch_max);
+                             ("stretch_avg", Float st.stretch_avg);
+                             ("hops", Congest.Export.histogram st.hops);
+                             ("max_edge_load", Int st.max_load);
+                             ("sp_baseline_max_edge_load", Int st.base_max_load);
+                             ("edge_load", Congest.Export.histogram st.load);
+                             ( "sp_baseline_edge_load",
+                               Congest.Export.histogram st.base_load );
+                           ])
+                       rows) );
+                ( "trace",
+                  match trace with
+                  | None -> Null
+                  | Some tr -> Congest.Export.trace tr );
+              ]))
+    else begin
+      Format.printf "%-8s | %9s %9s | %5s %5s %5s | %8s %8s | %5s@." "model"
+        "queries" "qps" "p50" "p95" "max" "maxload" "sp-max" "fail";
+      List.iter
+        (fun ((m : Serve.Traffic.model), (st : Serve.Engine.stats)) ->
+          Format.printf
+            "%-8s | %9d %9.0f | %5.2f %5.2f %5.2f | %8d %8d | %5d@."
+            (Serve.Traffic.name m) st.queries st.qps st.stretch_p50
+            st.stretch_p95 st.stretch_max st.max_load st.base_max_load
+            st.failed)
+        rows;
+      let bound = float_of_int ((4 * k) - 3) in
+      List.iter
+        (fun ((m : Serve.Traffic.model), (st : Serve.Engine.stats)) ->
+          if st.stretch_max > bound +. 1e-9 then begin
+            Format.eprintf "stretch bound VIOLATED on %s: %.3f > %.0f@."
+              (Serve.Traffic.name m) st.stretch_max bound;
+            exit 1
+          end)
+        rows;
+      Format.printf "stretch within the 4k-3 = %.0f bound on every model@."
+        bound
+    end
+  in
+  Cmd.v
+    (Cmd.info "traffic"
+       ~doc:
+         "Compile the built scheme into packed flat arrays and push synthetic \
+          traffic (uniform, Zipf hot-spot, adversarial far-pairs) through the \
+          forwarding engine, reporting queries/sec, stretch percentiles and \
+          per-edge congestion vs the shortest-path baseline.")
+    Term.(
+      const run $ seed_t $ n_t $ k_t $ topology_t $ queries_t $ model_t
+      $ zipf_s_t $ no_check_t $ json_t)
+
 (* ---- json-check ---- *)
 
 let json_check_cmd =
@@ -704,7 +861,7 @@ let () =
     Cmd.group (Cmd.info "drr" ~doc)
       [
         info_cmd; build_cmd; route_cmd; tree_cmd; trace_cmd; dist_scheme_cmd;
-        churn_cmd; json_check_cmd;
+        churn_cmd; traffic_cmd; json_check_cmd;
       ]
   in
   (* cmdliner renders one-character option names with a single dash; accept

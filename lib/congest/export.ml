@@ -28,7 +28,7 @@ module Json = struct
         | '\t' -> Buffer.add_string buf "\\t"
         | '\b' -> Buffer.add_string buf "\\b"
         | '\012' -> Buffer.add_string buf "\\f"
-        | c when Char.code c < 0x20 ->
+        | c when Char.code c < 0x20 || Char.code c = 0x7f ->
           Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
         | c -> Buffer.add_char buf c)
       s;

@@ -17,15 +17,22 @@ module Json : sig
     | Obj of (string * t) list
 
   val to_string : t -> string
-  (** Compact serialization. Strings are escaped per RFC 8259; integral
-      floats print with a trailing [".0"] so [parse] preserves the
-      [Int]/[Float] distinction; non-finite floats print as [null]. *)
+  (** Compact serialization. Strings are escaped per RFC 8259: the two
+      mandatory characters, the usual short escapes, and [\uXXXX] for the
+      remaining C0 controls plus DEL (0x7f). All other bytes — in
+      particular bytes ≥ 0x80 — pass through verbatim, so a [Str] holding
+      valid UTF-8 serializes as that same valid UTF-8 (and a [Str] holding
+      arbitrary non-UTF-8 bytes emits those bytes raw; the output is then
+      only byte-clean, not charset-clean). Integral floats print with a
+      trailing [".0"] so [parse] preserves the [Int]/[Float] distinction;
+      non-finite floats print as [null]. *)
 
   val parse : string -> (t, string) result
   (** Recursive-descent parser for the JSON this module emits (a strict
       subset of RFC 8259 — no duplicate-key policy, [\u] escapes decode to
-      UTF-8). [parse (to_string j) = Ok j] for every [j] free of non-finite
-      floats. *)
+      UTF-8, raw bytes ≥ 0x80 are accepted verbatim).
+      [parse (to_string j) = Ok j] for every [j] free of non-finite floats,
+      including [Str] values carrying arbitrary bytes. *)
 
   val member : string -> t -> t option
   (** Field lookup on [Obj]; [None] on anything else. *)

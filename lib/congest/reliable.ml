@@ -23,6 +23,26 @@ type config = { ack_timeout : int; backoff : int; max_retries : int }
 
 let default_config = { ack_timeout = 4; backoff = 2; max_retries = 8 }
 
+let ipow b e =
+  let r = ref 1 in
+  for _ = 1 to e do
+    if !r < 1 lsl 40 then r := !r * b
+  done;
+  !r
+
+(* Worst-case length of one retransmission backoff streak: retry t waits
+   ack_timeout · backoff^(t−1) rounds, so a link that loses every
+   retransmission stays silent-but-alive for the sum over all max_retries
+   tries before being declared dead. Watchdogs layered above the transport
+   must dominate this, or a healthy masked run can be misdiagnosed as
+   stalled mid-streak. *)
+let retransmission_budget cfg =
+  let acc = ref 0 in
+  for t = 1 to cfg.max_retries do
+    acc := !acc + (cfg.ack_timeout * ipow cfg.backoff (max 0 (t - 1)))
+  done;
+  !acc
+
 module Make (M : Sim.MESSAGE) = struct
   type frame =
     | Data of { seq : int; body : M.t }
@@ -84,13 +104,6 @@ module Make (M : Sim.MESSAGE) = struct
     mutable last_pump : int;
     trace : Trace.t option;
   }
-
-  let ipow b e =
-    let r = ref 1 in
-    for _ = 1 to e do
-      if !r < 1 lsl 40 then r := !r * b
-    done;
-    !r
 
   let make_ep cfg ~data_cap ~word_limit ?trace (sctx : S.ctx) =
     {

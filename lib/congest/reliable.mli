@@ -32,6 +32,16 @@ type config = {
 val default_config : config
 (** [{ ack_timeout = 4; backoff = 2; max_retries = 8 }]. *)
 
+val retransmission_budget : config -> int
+(** Worst-case real rounds one link can spend in a single retransmission
+    backoff streak while still alive: retry [t] waits
+    [ack_timeout · backoff^(t−1)] rounds, so the streak lasts
+    [Σ_{t=1..max_retries} ack_timeout · backoff^(t−1)] before the link is
+    declared dead (1020 with {!default_config}). Stall watchdogs layered
+    above the transport must dominate this value — derive their intervals
+    from it rather than hardcoding, so changing the config cannot silently
+    reintroduce false stall diagnoses. *)
+
 module Make (M : Sim.MESSAGE) : sig
   type ctx = {
     me : int;

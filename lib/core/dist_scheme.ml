@@ -138,12 +138,21 @@ let run ~rng ~k ?b ?faults ?reliable ?config ?trace ?max_rounds ?scheduler g =
   let phase_marks = ref [] in
   (* measured per-vertex protocol words, max per phase (index = phase + 1) *)
   let phase_peak = Array.make (n_phases + 1) 0 in
-  (* Under Reliable a masked delivery may back off for ~2^max_retries ×
-     ack_timeout rounds before the link is declared dead, so the stall
-     interval must dominate that: shorter and a healthy faulted run could
-     trip the watchdog during a retransmission streak. *)
+  (* Under Reliable a masked delivery may back off for a whole
+     retransmission streak before the link is declared dead, so the stall
+     interval must dominate that streak: shorter and a healthy faulted run
+     could trip the watchdog mid-backoff. Derived from the transport config
+     actually in use, not hardcoded. *)
   let watchdog_interval =
-    if use_reliable then max ((4 * n) + 64) 1100 else (4 * n) + 64
+    let base = (4 * n) + 64 in
+    if use_reliable then
+      let cfg =
+        match config with
+        | Some c -> c
+        | None -> Congest.Reliable.default_config
+      in
+      max base (Congest.Reliable.retransmission_budget cfg + 64)
+    else base
   in
   let failures : failure list ref = ref [] in
   let fail_t f = failures := f :: !failures in

@@ -2,7 +2,7 @@ open Dgraph
 
 type params = { rebuild_trigger : float }
 
-let default_params = { rebuild_trigger = 0.25 }
+let default_params = { rebuild_trigger = 1.0 }
 
 type source = Fresh | Stale of int | Recomputed
 
@@ -243,6 +243,37 @@ let affected_owners t ~pre ~post ~endpoints ~vals =
       touch
   done;
   (affected, !damage)
+
+(* Predict what recompute_clusters would charge, without regrowing
+   anything: per owner level, the deepest support subtree among the flagged
+   clusters (their pre-mutation trees), the worst per-vertex overlap among
+   their old memberships, plus the kick-off round — the same shape
+   recompute_clusters charges after the fact. Depth, not size, is the
+   honest proxy for repair rounds: on small-diameter graphs even a
+   span-everything cluster regrows in a handful of rounds, which is exactly
+   where the old membership-count trigger over-escalated. *)
+let estimate_cluster_rounds t affected =
+  let est = ref 0 in
+  for j = 0 to t.k - 1 do
+    if affected.(j) <> [] then begin
+      let depth = ref 0 in
+      let overlap : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun w ->
+          let c = t.clusters.(w) in
+          let d = tree_depth c in
+          if d > !depth then depth := d;
+          List.iter
+            (fun (v, _) ->
+              Hashtbl.replace overlap v
+                (1 + (try Hashtbl.find overlap v with Not_found -> 0)))
+            c.Tz.Cluster.dist)
+        affected.(j);
+      let cong = Hashtbl.fold (fun _ c acc -> max acc c) overlap 0 in
+      est := !est + !depth + cong + 1
+    end
+  done;
+  !est
 
 (* Regrow the flagged clusters on the repaired rows. Charged per owner
    level: deepest regrown tree plus the worst per-vertex overlap among the
@@ -485,12 +516,18 @@ let repair_one ?trace t (ev : Congest.Churn.event) =
   t.g <- post;
   let affected, cdamage = affected_owners t ~pre ~post ~endpoints ~vals in
   let damage = !touched + cdamage in
-  let scale = (k * t.n) + t.low_membership in
+  (* the row waves in [!rounds] are already paid whichever branch we take;
+     only the predicted cluster-regrow cost weighs against a rebuild *)
+  let estimate = estimate_cluster_rounds t affected in
+  let baseline = max 1 t.build_rounds in
   let clock0 = t.build_rounds + t.repair_rounds in
   let result =
-    if float_of_int damage > t.params.rebuild_trigger *. float_of_int scale then begin
-      (* Damage trigger: the affected region is a constant fraction of the
-         whole structure — escalate to the bounded rebuild. *)
+    if float_of_int estimate > t.params.rebuild_trigger *. float_of_int baseline
+    then begin
+      (* Damage trigger: regrowing the flagged clusters is predicted to
+         cost at least the trigger fraction of a from-scratch rebuild —
+         escalate to the bounded rebuild, which is no dearer and also
+         resets accumulated staleness. *)
       let r = rebuild t in
       t.full_rebuilds <- t.full_rebuilds + 1;
       {

@@ -20,10 +20,16 @@
       endpoint, a vertex whose level-bound changed, or a neighbour of one.
       Affected clusters are regrown on the repaired rows; all others are
       reused as-is.
-    - {b Damage trigger.} When the disturbed region (relabelled row entries
-      plus old membership of affected clusters) exceeds
-      [rebuild_trigger × (k·n + Σ|C(w)|)], the repair escalates to a full
-      bounded rebuild — amortization against adversarial mutations.
+    - {b Damage trigger.} The repair escalates to a full bounded rebuild
+      when the support-subtree-depth estimate of its cluster regrows (per
+      level: deepest affected cluster tree, worst old-membership overlap,
+      one kick-off round — the same shape the regrow itself charges)
+      exceeds [rebuild_trigger ×] the last full build's charge. The
+      already-paid row-wave rounds are sunk cost either way and do not
+      weigh in. Depth, not membership size, is the proxy: on
+      small-diameter graphs even span-everything clusters regrow in a few
+      rounds, which is where the earlier size-based trigger escalated
+      3–4× too often.
     - {b Degraded routing.} Mutations may be applied with [defer], leaving
       the structures stale; {!route} keeps answering, marking replies as
       [Stale] (structures behind by [n] mutations, path re-validated
@@ -47,12 +53,16 @@
 
 type params = {
   rebuild_trigger : float;
-      (** fraction of [k·n + Σ|C(w)|] the disturbed region must exceed to
-          escalate to a full rebuild *)
+      (** fraction of the last full build's round charge that the
+          support-subtree-depth estimate of the cluster regrows must
+          exceed to escalate to a full rebuild *)
 }
 
 val default_params : params
-(** [{ rebuild_trigger = 0.25 }] *)
+(** [{ rebuild_trigger = 1.0 }] — escalate only when repairing is
+    predicted to cost at least as much as rebuilding from scratch (at
+    which point the rebuild strictly dominates: no dearer, and it resets
+    accumulated staleness). *)
 
 type source =
   | Fresh  (** structures quiesced; the scheme's own path *)

@@ -1,0 +1,50 @@
+(* The gate between "packed" and "proven packed": random pairs are routed
+   through both the centralized Graph_routing/Oracle and their packed
+   compilations, demanding bit-identical answers — same vertex paths, same
+   typed errors, same float distances. bench traffic and drr traffic run
+   this before reporting any number; test_serve sweeps it over topologies ×
+   seeds × k. *)
+
+let pair rng n near_diagonal =
+  let u = Random.State.int rng n in
+  let v =
+    if near_diagonal && Random.State.int rng 16 = 0 then u
+    else Random.State.int rng n
+  in
+  (u, v)
+
+let check_router ~rng gr packed ~pairs =
+  let n = Tz.Graph_routing.n gr in
+  let errs = ref [] in
+  for _ = 1 to pairs do
+    let src, dst = pair rng n true in
+    let reference = Tz.Graph_routing.route gr ~src ~dst in
+    let got = Packed_router.route packed ~src ~dst in
+    let agree =
+      match (reference, got) with
+      | Ok p1, Ok p2 -> p1 = p2
+      | Error e1, Error e2 -> Tz.Routing_error.equal e1 e2
+      | _ -> false
+    in
+    if not agree then
+      errs :=
+        Printf.sprintf "route (%d, %d): packed diverges from reference" src
+          dst
+        :: !errs
+  done;
+  List.rev !errs
+
+let check_oracle ~rng oracle packed ~pairs =
+  let n = Tz.Oracle.n oracle in
+  let errs = ref [] in
+  for _ = 1 to pairs do
+    let u, v = pair rng n true in
+    let reference = Tz.Oracle.query oracle u v in
+    let got = Packed_oracle.query packed u v in
+    if compare reference got <> 0 then
+      errs :=
+        Printf.sprintf "query (%d, %d): packed %g <> reference %g" u v got
+          reference
+        :: !errs
+  done;
+  List.rev !errs

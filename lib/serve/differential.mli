@@ -1,0 +1,25 @@
+(** The gate between "packed" and "proven packed".
+
+    Random pairs (with occasional [u = v]) go through both the centralized
+    structures and their packed compilations; any divergence — vertex path,
+    typed error, or float distance — is reported as a human-readable line.
+    [bench traffic] and [drr traffic] run these before reporting numbers;
+    [test_serve] sweeps them over topologies × seeds × k. *)
+
+val check_router :
+  rng:Random.State.t ->
+  Tz.Graph_routing.t ->
+  Packed_router.t ->
+  pairs:int ->
+  string list
+(** Empty iff every sampled pair routes to a bit-identical path (or an
+    equal typed error) in both routers. *)
+
+val check_oracle :
+  rng:Random.State.t ->
+  Tz.Oracle.t ->
+  Packed_oracle.t ->
+  pairs:int ->
+  string list
+(** Empty iff every sampled pair gets a bit-identical distance from both
+    oracles. *)

@@ -1,0 +1,195 @@
+(* The forwarding engine: push a traffic matrix through the packed router
+   hop by hop and account for what the network would feel.
+
+   One timed pass routes every query with [Packed_router.route_into] into a
+   reused buffer — no allocation, no Hashtbl — walking the path once to
+   accumulate its weight and bump a per-directed-slot load counter (the
+   slot of hop (a,b) is found by scanning a's adjacency row; degrees are
+   O(1) on our topologies and the scan is the same work a real forwarding
+   plane does to pick an output port). Directed slots fold into undirected
+   edge ids afterwards.
+
+   A second, untimed pass buckets the queries by source and runs one
+   Dijkstra per distinct source, shared by (a) exact distances for the
+   stretch of every delivered query and (b) the shortest-path baseline:
+   walking the parent tree from each destination bumps the baseline's edge
+   loads, giving the congestion a shortest-path routed network would see
+   on the same matrix. *)
+
+open Dgraph
+
+type stats = {
+  queries : int;
+  delivered : int;
+  failed : int;
+  sources : int;  (** distinct sources (Dijkstras run by the evaluation) *)
+  seconds : float;  (** wall time of the timed forwarding pass *)
+  qps : float;
+  hops : Congest.Histogram.t;
+  stretch_p50 : float;
+  stretch_p95 : float;
+  stretch_max : float;
+  stretch_avg : float;
+  max_load : int;
+  base_max_load : int;
+  load : Congest.Histogram.t;
+  base_load : Congest.Histogram.t;
+}
+
+(* nearest-rank percentile of a sorted float array *)
+let fpercentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else begin
+    let idx = ((p * n) + 99) / 100 in
+    sorted.(max 0 (min (n - 1) (idx - 1)))
+  end
+
+let run ?trace ?(label = "traffic") ?(clock0 = 0) g router queries =
+  let n = Graph.n g in
+  let m = Graph.m g in
+  let adj = Array.init n (fun v -> Graph.neighbors g v) in
+  let row_off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    row_off.(v + 1) <- row_off.(v) + Array.length adj.(v)
+  done;
+  (* directed adjacency slot -> undirected edge id *)
+  let dir2eid = Array.make (max 1 row_off.(n)) (-1) in
+  List.iteri
+    (fun eid { Graph.u; v; _ } ->
+      (match Graph.port g u v with
+      | Some p -> dir2eid.(row_off.(u) + p) <- eid
+      | None -> assert false);
+      match Graph.port g v u with
+      | Some p -> dir2eid.(row_off.(v) + p) <- eid
+      | None -> assert false)
+    (Graph.edges g);
+  let slot_of a b =
+    let row = adj.(a) in
+    let rec find p =
+      if p >= Array.length row then -1
+      else if fst row.(p) = b then p
+      else find (p + 1)
+    in
+    find 0
+  in
+  let nq = Array.length queries in
+  let buf = Packed_router.buffer router in
+  let dir_load = Array.make (max 1 row_off.(n)) 0 in
+  let weight = Array.make nq nan in
+  let hops = Congest.Histogram.create () in
+  let delivered = ref 0 and failed = ref 0 in
+  (* timed pass: forward every query, accounting loads and path weight *)
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to nq - 1 do
+    let src, dst = queries.(i) in
+    match Packed_router.route_into router ~buf ~src ~dst with
+    | Error _ -> incr failed
+    | Ok len ->
+      incr delivered;
+      Congest.Histogram.add hops (len - 1);
+      let w = ref 0.0 in
+      for j = 0 to len - 2 do
+        let a = buf.(j) and b = buf.(j + 1) in
+        let p = slot_of a b in
+        let slot = row_off.(a) + p in
+        dir_load.(slot) <- dir_load.(slot) + 1;
+        w := !w +. snd adj.(a).(p)
+      done;
+      weight.(i) <- !w
+  done;
+  let seconds = Unix.gettimeofday () -. t0 in
+  (* fold directed slots into undirected edge loads *)
+  let edge_load = Array.make (max 1 m) 0 in
+  for s = 0 to row_off.(n) - 1 do
+    if dir_load.(s) > 0 then begin
+      let e = dir2eid.(s) in
+      edge_load.(e) <- edge_load.(e) + dir_load.(s)
+    end
+  done;
+  (* evaluation pass: bucket by source, one Dijkstra per distinct source *)
+  let by_src = Array.make n 0 in
+  Array.iter (fun (s, _) -> by_src.(s) <- by_src.(s) + 1) queries;
+  let src_off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    src_off.(v + 1) <- src_off.(v) + by_src.(v)
+  done;
+  let order = Array.make (max 1 nq) 0 in
+  let cursor = Array.copy src_off in
+  Array.iteri
+    (fun i (s, _) ->
+      order.(cursor.(s)) <- i;
+      cursor.(s) <- cursor.(s) + 1)
+    queries;
+  let base_load = Array.make (max 1 m) 0 in
+  let stretches = Array.make nq nan in
+  let ns = ref 0 and sources = ref 0 in
+  for s = 0 to n - 1 do
+    if by_src.(s) > 0 then begin
+      incr sources;
+      let { Sssp.dist; parent } = Sssp.dijkstra g ~src:s in
+      for qi = src_off.(s) to src_off.(s + 1) - 1 do
+        let i = order.(qi) in
+        let _, dst = queries.(i) in
+        if Float.is_finite weight.(i) then begin
+          let d = dist.(dst) in
+          if dst = s then begin
+            stretches.(!ns) <- 1.0;
+            incr ns
+          end
+          else if Float.is_finite d && d > 0.0 then begin
+            stretches.(!ns) <- weight.(i) /. d;
+            incr ns;
+            (* baseline: charge the shortest-path tree path to dst *)
+            let b = ref dst in
+            while parent.(!b) >= 0 do
+              let a = parent.(!b) in
+              let e = dir2eid.(row_off.(a) + slot_of a !b) in
+              base_load.(e) <- base_load.(e) + 1;
+              b := a
+            done
+          end
+        end
+      done
+    end
+  done;
+  let stretches = Array.sub stretches 0 !ns in
+  Array.sort compare stretches;
+  let stretch_avg =
+    if !ns = 0 then nan
+    else Array.fold_left ( +. ) 0.0 stretches /. float_of_int !ns
+  in
+  let max_load = Array.fold_left max 0 edge_load in
+  let base_max_load = Array.fold_left max 0 base_load in
+  (match trace with
+  | None -> ()
+  | Some tr ->
+    Congest.Trace.add_closed_span tr
+      ~detail:(Printf.sprintf "%d queries" nq)
+      ~name:(label ^ ":forward") ~start_round:clock0
+      ~end_round:(clock0 + nq) ();
+    Congest.Trace.add_closed_span tr
+      ~detail:(Printf.sprintf "%d sources" !sources)
+      ~name:(label ^ ":evaluate")
+      ~start_round:(clock0 + nq)
+      ~end_round:(clock0 + nq + !sources)
+      ());
+  {
+    queries = nq;
+    delivered = !delivered;
+    failed = !failed;
+    sources = !sources;
+    seconds;
+    qps = (if seconds > 0.0 then float_of_int nq /. seconds else 0.0);
+    hops;
+    stretch_p50 = fpercentile stretches 50;
+    stretch_p95 = fpercentile stretches 95;
+    stretch_max = (if !ns = 0 then nan else stretches.(!ns - 1));
+    stretch_avg;
+    max_load;
+    base_max_load;
+    load = Congest.Histogram.of_array edge_load;
+    base_load = Congest.Histogram.of_array base_load;
+  }
+
+let clock_after ~clock0 stats = clock0 + stats.queries + stats.sources

@@ -1,0 +1,43 @@
+(** The forwarding engine: routes a traffic matrix through a
+    {!Packed_router} hop by hop and accounts for what the network feels.
+
+    The timed pass forwards every query allocation-free, accumulating hop
+    counts, path weights, and per-edge packet loads. The untimed evaluation
+    pass buckets queries by source and runs one Dijkstra per distinct
+    source, shared by the exact distances behind each query's stretch and
+    by the shortest-path baseline whose edge loads calibrate the router's
+    congestion. *)
+
+type stats = {
+  queries : int;
+  delivered : int;
+  failed : int;  (** unreachable (cross-component) or corrupt-state routes *)
+  sources : int;  (** distinct sources (= Dijkstras run by the evaluation) *)
+  seconds : float;  (** wall time of the timed forwarding pass *)
+  qps : float;  (** queries per second of the forwarding pass *)
+  hops : Congest.Histogram.t;  (** per-delivered-query hop counts *)
+  stretch_p50 : float;
+  stretch_p95 : float;
+  stretch_max : float;  (** ≤ 4k−3 on a correct scheme *)
+  stretch_avg : float;
+  max_load : int;  (** max packets on one edge, routed paths *)
+  base_max_load : int;  (** same for the shortest-path baseline *)
+  load : Congest.Histogram.t;  (** per-edge loads, routed paths *)
+  base_load : Congest.Histogram.t;  (** per-edge loads, baseline *)
+}
+
+val run :
+  ?trace:Congest.Trace.t ->
+  ?label:string ->
+  ?clock0:int ->
+  Dgraph.Graph.t ->
+  Packed_router.t ->
+  (int * int) array ->
+  stats
+(** Route every (src, dst) pair. With [?trace], two closed spans are
+    appended per call — ["<label>:forward"] spanning one tick per query and
+    ["<label>:evaluate"] spanning one tick per distinct source — starting
+    at [clock0] (default 0); use {!clock_after} to stack phases. *)
+
+val clock_after : clock0:int -> stats -> int
+(** The clock value after a {!run} that started at [clock0]. *)

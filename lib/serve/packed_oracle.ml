@@ -1,0 +1,95 @@
+(* Flat-array compilation of Tz.Oracle.
+
+   Bunches become per-vertex owner-sorted (int, float) slices; pivots and
+   level distances become k×n flat arrays read straight from the hierarchy.
+   [query] replays the exact bunch walk of Tz.Oracle.query — same swap
+   discipline, same [du +. dv] arithmetic on the same stored floats — so
+   answers are bit-identical on a well-formed oracle (the packed walk keeps
+   the plain [infinity]-on-exhaustion behaviour; validate the source oracle
+   with Tz.Oracle.query_checked first if corruption is a concern). *)
+
+type t = {
+  k : int;
+  n : int;
+  piv : int array;  (* k·n, level-major; -1 where no pivot exists *)
+  pivd : float array;  (* k·n, distance to level i *)
+  bunch_off : int array;  (* n+1 *)
+  bunch_w : int array;  (* owner-sorted within each vertex slice *)
+  bunch_d : float array;
+}
+
+let of_oracle o =
+  let k = Tz.Oracle.k o in
+  let n = Tz.Oracle.n o in
+  let h = Tz.Oracle.hierarchy o in
+  let piv = Array.make (k * n) (-1) and pivd = Array.make (k * n) infinity in
+  for i = 0 to k - 1 do
+    for v = 0 to n - 1 do
+      match Tz.Hierarchy.pivot h i v with
+      | None -> ()
+      | Some w ->
+        piv.((i * n) + v) <- w;
+        pivd.((i * n) + v) <- Tz.Hierarchy.dist_to_level h i v
+    done
+  done;
+  let entries =
+    Array.init n (fun v ->
+        Tz.Oracle.bunch_entries o v
+        |> List.sort (fun (a, _) (b, _) -> compare a b))
+  in
+  let bunch_off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    bunch_off.(v + 1) <- bunch_off.(v) + List.length entries.(v)
+  done;
+  let bn = bunch_off.(n) in
+  let bunch_w = Array.make bn 0 and bunch_d = Array.make bn 0.0 in
+  for v = 0 to n - 1 do
+    List.iteri
+      (fun i (w, d) ->
+        bunch_w.(bunch_off.(v) + i) <- w;
+        bunch_d.(bunch_off.(v) + i) <- d)
+      entries.(v)
+  done;
+  { k; n; piv; pivd; bunch_off; bunch_w; bunch_d }
+
+let k t = t.k
+let n t = t.n
+
+let words t =
+  (2 * Array.length t.piv)
+  + Array.length t.bunch_off
+  + (2 * Array.length t.bunch_w)
+
+(* index of [w] in v's bunch slice, or -1 *)
+let find_bunch t v w =
+  let lo = ref t.bunch_off.(v) and hi = ref t.bunch_off.(v + 1) in
+  let res = ref (-1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    let o = t.bunch_w.(mid) in
+    if o = w then begin
+      res := mid;
+      lo := !hi
+    end
+    else if o < w then lo := mid + 1
+    else hi := mid
+  done;
+  !res
+
+let query t u v =
+  if u = v then 0.0
+  else begin
+    let rec walk i u v w du =
+      match find_bunch t v w with
+      | -1 ->
+        let i = i + 1 in
+        if i >= t.k then infinity
+        else begin
+          let u, v = (v, u) in
+          let w = t.piv.((i * t.n) + u) in
+          if w < 0 then infinity else walk i u v w t.pivd.((i * t.n) + u)
+        end
+      | bi -> du +. t.bunch_d.(bi)
+    in
+    walk 0 u v u 0.0
+  end

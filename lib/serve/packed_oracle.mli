@@ -1,0 +1,22 @@
+(** Flat-array compilation of {!Tz.Oracle} for the serving hot path.
+
+    Bunches become owner-sorted per-vertex slices found by binary search;
+    pivots and level distances become [k·n] flat arrays. {!query} replays
+    the exact bunch walk of [Tz.Oracle.query] on the same stored floats, so
+    answers are bit-identical on a well-formed oracle ({!Differential}
+    checks this). Exhaustion returns plain [infinity] — validate the source
+    oracle with [Tz.Oracle.query_checked] if corruption is a concern. *)
+
+type t
+
+val of_oracle : Tz.Oracle.t -> t
+
+val k : t -> int
+val n : t -> int
+
+val words : t -> int
+(** Total scalar slots across all packed arrays. *)
+
+val query : t -> int -> int -> float
+(** Allocation-free distance query, bit-identical to [Tz.Oracle.query] on a
+    well-formed oracle; [infinity] on disconnected pairs. *)

@@ -1,0 +1,214 @@
+(* Flat-array compilation of Tz.Graph_routing.
+
+   The centralized router keeps one Hashtbl per vertex (owner → tree table)
+   and per-destination label entries as lists of records; every forwarding
+   hop pays a hash lookup and chases list links. Here the same data is
+   packed into parallel int arrays once, and the hot path touches nothing
+   but those arrays:
+
+   - tables: per-vertex slices of [tab_*], owner-sorted, found by binary
+     search over [tab_owner];
+   - labels: per-destination slices of [lab_*] in the original level order
+     (the router takes the FIRST entry whose cluster holds the source, so
+     order is semantic);
+   - light edges of each label entry flattened into [light_*] slices,
+     preserving list order ([List.assoc_opt] takes the first match).
+
+   [route_into] replicates Graph_routing.route decision-for-decision —
+   same entry choice, same Tree_routing.step arithmetic, same error cases
+   in the same order — which the differential gate in {!Differential}
+   checks pair by pair. *)
+
+type t = {
+  n : int;
+  k : int;
+  (* routing tables: vertex v owns slice [tab_off.(v), tab_off.(v+1)) *)
+  tab_off : int array;
+  tab_owner : int array;  (* sorted within each vertex slice *)
+  tab_entry : int array;
+  tab_exit : int array;
+  tab_parent : int array;
+  tab_heavy : int array;
+  (* labels: destination y owns slice [lab_off.(y), lab_off.(y+1)) *)
+  lab_off : int array;
+  lab_owner : int array;  (* in level order, NOT sorted *)
+  lab_target_entry : int array;
+  (* light edges of label entry e: slice [light_off.(e), light_off.(e+1)) *)
+  light_off : int array;
+  light_me : int array;
+  light_child : int array;
+}
+
+let of_graph_routing gr =
+  let n = Tz.Graph_routing.n gr in
+  let k = Tz.Graph_routing.k gr in
+  let rows =
+    Array.init n (fun v ->
+        Tz.Graph_routing.fold_tables gr v
+          (fun owner tab acc -> (owner, tab) :: acc)
+          []
+        |> List.sort (fun (a, _) (b, _) -> compare a b))
+  in
+  let tab_off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    tab_off.(v + 1) <- tab_off.(v) + List.length rows.(v)
+  done;
+  let tn = tab_off.(n) in
+  let tab_owner = Array.make tn 0
+  and tab_entry = Array.make tn 0
+  and tab_exit = Array.make tn 0
+  and tab_parent = Array.make tn 0
+  and tab_heavy = Array.make tn 0 in
+  for v = 0 to n - 1 do
+    List.iteri
+      (fun i (owner, (tab : Tz.Tree_routing.table)) ->
+        let j = tab_off.(v) + i in
+        tab_owner.(j) <- owner;
+        tab_entry.(j) <- tab.Tz.Tree_routing.entry;
+        tab_exit.(j) <- tab.Tz.Tree_routing.exit_;
+        tab_parent.(j) <- tab.Tz.Tree_routing.parent;
+        tab_heavy.(j) <- tab.Tz.Tree_routing.heavy)
+      rows.(v)
+  done;
+  let labels = Array.init n (fun y -> Tz.Graph_routing.label gr y) in
+  let lab_off = Array.make (n + 1) 0 in
+  for y = 0 to n - 1 do
+    lab_off.(y + 1) <- lab_off.(y) + List.length labels.(y)
+  done;
+  let ln = lab_off.(n) in
+  let lab_owner = Array.make ln 0 and lab_target_entry = Array.make ln 0 in
+  let light_off = Array.make (ln + 1) 0 in
+  let e = ref 0 in
+  for y = 0 to n - 1 do
+    List.iter
+      (fun (entry : Tz.Graph_routing.entry) ->
+        lab_owner.(!e) <- entry.Tz.Graph_routing.owner;
+        lab_target_entry.(!e) <-
+          entry.Tz.Graph_routing.tree_label.Tz.Tree_routing.target_entry;
+        light_off.(!e + 1) <-
+          light_off.(!e)
+          + List.length entry.Tz.Graph_routing.tree_label.Tz.Tree_routing.lights;
+        incr e)
+      labels.(y)
+  done;
+  let lt = light_off.(ln) in
+  let light_me = Array.make lt 0 and light_child = Array.make lt 0 in
+  let e = ref 0 in
+  for y = 0 to n - 1 do
+    List.iter
+      (fun (entry : Tz.Graph_routing.entry) ->
+        List.iteri
+          (fun i (me, child) ->
+            light_me.(light_off.(!e) + i) <- me;
+            light_child.(light_off.(!e) + i) <- child)
+          entry.Tz.Graph_routing.tree_label.Tz.Tree_routing.lights;
+        incr e)
+      labels.(y)
+  done;
+  {
+    n;
+    k;
+    tab_off;
+    tab_owner;
+    tab_entry;
+    tab_exit;
+    tab_parent;
+    tab_heavy;
+    lab_off;
+    lab_owner;
+    lab_target_entry;
+    light_off;
+    light_me;
+    light_child;
+  }
+
+let n t = t.n
+let k t = t.k
+
+let words t =
+  Array.length t.tab_off + (5 * Array.length t.tab_owner)
+  + Array.length t.lab_off
+  + (2 * Array.length t.lab_owner)
+  + Array.length t.light_off
+  + (2 * Array.length t.light_me)
+
+(* index of [owner] in v's table slice, or -1 *)
+let find_table t v owner =
+  let lo = ref t.tab_off.(v) and hi = ref t.tab_off.(v + 1) in
+  let res = ref (-1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    let o = t.tab_owner.(mid) in
+    if o = owner then begin
+      res := mid;
+      lo := !hi
+    end
+    else if o < owner then lo := mid + 1
+    else hi := mid
+  done;
+  !res
+
+let buffer t = Array.make ((4 * t.n) + 2) (-1)
+
+let route_into t ~buf ~src ~dst =
+  if src < 0 || src >= t.n then Error (Tz.Routing_error.Bad_vertex src)
+  else if dst < 0 || dst >= t.n then Error (Tz.Routing_error.Bad_vertex dst)
+  else if src = dst then begin
+    buf.(0) <- src;
+    Ok 1
+  end
+  else begin
+    (* first label entry whose cluster also contains the source *)
+    let e1 = t.lab_off.(dst + 1) in
+    let rec pick e =
+      if e >= e1 then -1
+      else if find_table t src t.lab_owner.(e) >= 0 then e
+      else pick (e + 1)
+    in
+    let e = pick t.lab_off.(dst) in
+    if e < 0 then Error Tz.Routing_error.Unreachable
+    else begin
+      let owner = t.lab_owner.(e) in
+      let tentry = t.lab_target_entry.(e) in
+      let l0 = t.light_off.(e) and l1 = t.light_off.(e + 1) in
+      let limit = 4 * t.n in
+      let rec go v len steps =
+        if steps > limit then Error (Tz.Routing_error.Ttl_exceeded limit)
+        else
+          match find_table t v owner with
+          | -1 -> Error (Tz.Routing_error.No_table { vertex = v; owner })
+          | ti ->
+            if tentry = t.tab_entry.(ti) then begin
+              buf.(len) <- v;
+              Ok (len + 1)
+            end
+            else begin
+              let next =
+                if tentry < t.tab_entry.(ti) || tentry > t.tab_exit.(ti) then
+                  t.tab_parent.(ti)
+                else begin
+                  let rec light i =
+                    if i >= l1 then t.tab_heavy.(ti)
+                    else if t.light_me.(i) = v then t.light_child.(i)
+                    else light (i + 1)
+                  in
+                  light l0
+                end
+              in
+              if next < 0 || next >= t.n then
+                Error (Tz.Routing_error.Bad_port next)
+              else begin
+                buf.(len) <- v;
+                go next (len + 1) (steps + 1)
+              end
+            end
+      in
+      go src 0 0
+    end
+  end
+
+let route t ~src ~dst =
+  let buf = buffer t in
+  match route_into t ~buf ~src ~dst with
+  | Error _ as e -> e
+  | Ok len -> Ok (Array.to_list (Array.sub buf 0 len))

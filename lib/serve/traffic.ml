@@ -1,0 +1,114 @@
+(* Synthetic traffic matrices for the serving plane.
+
+   Three adversity levels, all seed-deterministic:
+   - Uniform: independent random pairs, the classic average-case matrix.
+   - Zipf: "millions of users, few hot services" — sources uniform,
+     destinations drawn from a Zipf(s) law over a random popularity
+     permutation (CDF precomputed once, sampled by binary search).
+   - Far_pairs: adversarial — a small set of random sources each targeting
+     its farthest reachable vertices (one Dijkstra per source at
+     generation time), maximizing hop counts and shared-edge pressure. *)
+
+open Dgraph
+
+type model = Uniform | Zipf of float | Far_pairs
+
+let name = function
+  | Uniform -> "uniform"
+  | Zipf _ -> "zipf"
+  | Far_pairs -> "far"
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done
+
+let uniform_pair rng n =
+  let s = Random.State.int rng n in
+  if n = 1 then (s, s)
+  else begin
+    let d = ref (Random.State.int rng n) in
+    while !d = s do
+      d := Random.State.int rng n
+    done;
+    (s, !d)
+  end
+
+let generate ~rng model g ~queries =
+  let n = Graph.n g in
+  if n = 0 || queries <= 0 then [||]
+  else
+    match model with
+    | Uniform -> Array.init queries (fun _ -> uniform_pair rng n)
+    | Zipf s ->
+      (* popularity rank r (0-based) has mass 1/(r+1)^s *)
+      let perm = Array.init n Fun.id in
+      shuffle rng perm;
+      let cdf = Array.make n 0.0 in
+      let acc = ref 0.0 in
+      for r = 0 to n - 1 do
+        acc := !acc +. (1.0 /. Float.pow (float_of_int (r + 1)) s);
+        cdf.(r) <- !acc
+      done;
+      let total = !acc in
+      let draw_rank x =
+        (* smallest r with cdf.(r) >= x *)
+        let lo = ref 0 and hi = ref (n - 1) in
+        while !lo < !hi do
+          let mid = (!lo + !hi) lsr 1 in
+          if cdf.(mid) >= x then hi := mid else lo := mid + 1
+        done;
+        !lo
+      in
+      Array.init queries (fun _ ->
+          let src = Random.State.int rng n in
+          let r = draw_rank (Random.State.float rng total) in
+          let dst = perm.(r) in
+          let dst = if dst = src && n > 1 then perm.((r + 1) mod n) else dst in
+          (src, dst))
+    | Far_pairs ->
+      let sources = min n 64 in
+      let srcs = Array.init n Fun.id in
+      shuffle rng srcs;
+      let srcs = Array.sub srcs 0 sources in
+      let out = Array.make queries (0, 0) in
+      let filled = ref 0 in
+      let quota = max 1 ((queries + sources - 1) / sources) in
+      Array.iter
+        (fun s ->
+          if !filled < queries then begin
+            let { Sssp.dist; _ } = Sssp.dijkstra g ~src:s in
+            let reach = ref [] in
+            for v = 0 to n - 1 do
+              if v <> s && Float.is_finite dist.(v) then
+                reach := (dist.(v), v) :: !reach
+            done;
+            let reach =
+              List.sort (fun (a, _) (b, _) -> compare b a) !reach
+              |> Array.of_list
+            in
+            if Array.length reach = 0 then begin
+              (* isolated source: fall back to a uniform pair *)
+              for _ = 1 to min quota (queries - !filled) do
+                out.(!filled) <- uniform_pair rng n;
+                incr filled
+              done
+            end
+            else
+              for i = 0 to min quota (queries - !filled) - 1 do
+                let _, v = reach.(i mod Array.length reach) in
+                out.(!filled) <- (s, v);
+                incr filled
+              done
+          end)
+        srcs;
+      (* pad any rounding gap, then mix the per-source blocks *)
+      while !filled < queries do
+        out.(!filled) <- uniform_pair rng n;
+        incr filled
+      done;
+      shuffle rng out;
+      out

@@ -1,0 +1,25 @@
+(** Synthetic traffic matrices for the serving plane — all
+    seed-deterministic.
+
+    [Uniform] draws independent random pairs. [Zipf s] keeps sources
+    uniform but draws destinations from a Zipf([s]) popularity law over a
+    random permutation — the "millions of users hitting few hot services"
+    matrix. [Far_pairs] is adversarial: a small set of random sources each
+    target their farthest reachable vertices (one Dijkstra per source at
+    generation time), maximizing hops and shared-edge pressure. *)
+
+type model = Uniform | Zipf of float  (** skew exponent, typically ~1 *) | Far_pairs
+
+val name : model -> string
+(** ["uniform"], ["zipf"], ["far"] — used in JSON rows and trace spans. *)
+
+val generate :
+  rng:Random.State.t ->
+  model ->
+  Dgraph.Graph.t ->
+  queries:int ->
+  (int * int) array
+(** [queries] (src, dst) pairs. On graphs with [n > 1], [src ≠ dst] for
+    uniform and far-pairs; Zipf avoids self-pairs where the permutation
+    allows. Pairs may span components (the engine counts such routes as
+    failed). *)

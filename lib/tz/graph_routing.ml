@@ -55,7 +55,10 @@ let build ~rng ~k g =
   of_parts ~k g hierarchy clusters
 
 let k t = t.k
+let n t = Array.length t.tables
 let label t y = t.labels.(y)
+
+let fold_tables t v f init = Hashtbl.fold f t.tables.(v) init
 
 let table_words t v = 5 * Hashtbl.length t.tables.(v)
 

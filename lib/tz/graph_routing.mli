@@ -31,8 +31,17 @@ val assemble :
 
 val k : t -> int
 
+val n : t -> int
+(** Number of vertices the scheme was built for. *)
+
 val label : t -> int -> entry list
 (** Level-ordered label entries of a destination. *)
+
+val fold_tables :
+  t -> int -> (int -> Tree_routing.table -> 'a -> 'a) -> 'a -> 'a
+(** Fold over vertex [v]'s routing-table rows [(owner, table)] in
+    unspecified order — exposed so {!module:Serve.Packed_router} can compile
+    the tables into flat arrays. *)
 
 val table_words : t -> int -> int
 (** Words stored by one vertex: 5 per cluster membership. *)

@@ -3,7 +3,13 @@ type t = {
   k : int;
   hierarchy : Hierarchy.t;
   bunch : (int, float) Hashtbl.t array;
+  comp : int array;
 }
+
+type answer =
+  | Distance of float
+  | Disconnected
+  | Broken_hierarchy of { u : int; v : int; level : int }
 
 let of_hierarchy g h =
   let bunches = Cluster.bunches g h in
@@ -15,31 +21,63 @@ let of_hierarchy g h =
         tbl)
       bunches
   in
-  { k = Hierarchy.k h; hierarchy = h; bunch }
+  { k = Hierarchy.k h; hierarchy = h; bunch; comp = Dgraph.Graph.components g }
 
 let build ~rng ~k g = of_hierarchy g (Hierarchy.build ~rng ~k g)
 
 let k t = t.k
+let n t = Array.length t.bunch
+let hierarchy t = t.hierarchy
 
-let query t u v =
-  if u = v then 0.0
+let bunch_entries t v =
+  Hashtbl.fold (fun w d acc -> (w, d) :: acc) t.bunch.(v) []
+
+let drop_bunch_entry t ~v ~w =
+  let bunch = Array.copy t.bunch in
+  bunch.(v) <- Hashtbl.copy t.bunch.(v);
+  Hashtbl.remove bunch.(v) w;
+  { t with bunch }
+
+let query_checked t u v =
+  if u = v then Distance 0.0
   else begin
+    (* The walk exhausts only when some bunch lookup that the TZ invariants
+       guarantee to succeed fails. In particular a top-level pivot's cluster
+       spans its whole component, so for a connected pair the level-(k−1)
+       lookup (and transitively every earlier fallback) must hit. Exhaustion
+       on a connected pair therefore always means the hierarchy is broken,
+       never a large-but-finite distance. *)
+    let broken level = Broken_hierarchy { u; v; level } in
+    let exhausted level =
+      if t.comp.(u) <> t.comp.(v) then Disconnected else broken level
+    in
     (* classical bunch walk, swapping roles each level *)
-    let rec walk i u v w du =
-      match Hashtbl.find_opt t.bunch.(v) w with
-      | Some dv -> du +. dv
+    let rec walk i u' v' w du =
+      match Hashtbl.find_opt t.bunch.(v') w with
+      | Some dv -> Distance (du +. dv)
       | None ->
         let i = i + 1 in
-        if i >= t.k then infinity
+        if i >= t.k then exhausted i
         else begin
-          let u, v = (v, u) in
-          match Hierarchy.pivot t.hierarchy i u with
-          | None -> infinity
-          | Some w -> walk i u v w (Hierarchy.dist_to_level t.hierarchy i u)
+          let u', v' = (v', u') in
+          match Hierarchy.pivot t.hierarchy i u' with
+          | None -> exhausted i
+          | Some w -> walk i u' v' w (Hierarchy.dist_to_level t.hierarchy i u')
         end
     in
     walk 0 u v u 0.0
   end
+
+let query t u v =
+  match query_checked t u v with
+  | Distance d -> d
+  | Disconnected -> infinity
+  | Broken_hierarchy { u; v; level } ->
+    invalid_arg
+      (Printf.sprintf
+         "Tz.Oracle.query: bunch walk exhausted at level %d for connected \
+          pair (%d, %d) — hierarchy invariant violated"
+         level u v)
 
 let bunch_size t v = (2 * Hashtbl.length t.bunch.(v)) + t.k
 

@@ -251,6 +251,42 @@ let test_watchdog_crash () =
         (String.length (Routing.Dist_scheme.failure_to_string f) > 0))
     o.Routing.Dist_scheme.failures
 
+(* ---------- watchdog: interval derived from the backoff schedule ---------- *)
+
+let test_watchdog_backoff_boundary () =
+  (* the stall watchdog must dominate the transport's retransmission
+     schedule.  First pin the closed form, then run with a config whose
+     budget (2040) exceeds the old hardcoded interval (1100) under heavy
+     drop faults: with the interval derived from the config the run stays
+     clean; a magic constant would trip false [Stalled] reports while the
+     transport is still legitimately backing off. *)
+  Alcotest.(check int) "default budget" 1020
+    Congest.Reliable.(retransmission_budget default_config);
+  Alcotest.(check int) "doubled ack_timeout budget" 2040
+    (Congest.Reliable.retransmission_budget
+       { Congest.Reliable.default_config with ack_timeout = 8 });
+  Alcotest.(check int) "no retries, no budget" 0
+    (Congest.Reliable.retransmission_budget
+       { Congest.Reliable.default_config with max_retries = 0 });
+  let g = Gen.grid ~rng:(rng 12) ~rows:5 ~cols:5 () in
+  let config = { Congest.Reliable.default_config with ack_timeout = 8 } in
+  let faults =
+    Congest.Fault.make { Congest.Fault.none with seed = 33; drop = 0.15 }
+  in
+  let o =
+    Routing.Dist_scheme.run ~rng:(rng 12) ~k:3 ~faults ~config
+      ~max_rounds:1_000_000 g
+  in
+  if o.Routing.Dist_scheme.failures <> [] then
+    Alcotest.failf "failures with derived watchdog: %s"
+      (String.concat " | "
+         (List.map Routing.Dist_scheme.failure_to_string
+            o.Routing.Dist_scheme.failures));
+  let errs = Routing.Dist_scheme.check_against_centralized ~rng:(rng 12) g o in
+  if errs <> [] then
+    Alcotest.failf "%d divergences vs centralized: %s" (List.length errs)
+      (concat_take 5 errs)
+
 let () =
   Alcotest.run "dist_scheme"
     [
@@ -271,6 +307,8 @@ let () =
           Alcotest.test_case "deterministic per seed" `Quick test_deterministic;
           Alcotest.test_case "watchdog under crash-stop" `Quick
             test_watchdog_crash;
+          Alcotest.test_case "watchdog at the backoff boundary" `Quick
+            test_watchdog_backoff_boundary;
         ] );
       ( "bounded BF",
         [

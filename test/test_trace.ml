@@ -236,6 +236,39 @@ let test_json_member_access () =
   | Some (E.Json.Int v) -> Alcotest.(check int) "max" 9 v
   | _ -> Alcotest.fail "max missing"
 
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_json_bytes_escaping () =
+  let open E.Json in
+  (* DEL and the C0 controls must be \u-escaped; UTF-8 multibyte sequences
+     (and any byte >= 0x80) pass through verbatim *)
+  let s = "del\x7f caf\xc3\xa9 \xf0\x9f\x90\xab ctl\x1f" in
+  let printed = to_string (Str s) in
+  Alcotest.(check bool) "DEL escaped as \\u007f" true (contains_sub printed "\\u007f");
+  Alcotest.(check bool) "no raw DEL byte in output" false (String.contains printed '\x7f');
+  Alcotest.(check bool) "C0 control escaped" true (contains_sub printed "\\u001f");
+  Alcotest.(check bool) "UTF-8 bytes pass through raw" true
+    (contains_sub printed "caf\xc3\xa9" && contains_sub printed "\xf0\x9f\x90\xab");
+  match parse printed with
+  | Ok (Str s') -> Alcotest.(check string) "byte-exact round-trip" s s'
+  | Ok _ -> Alcotest.fail "parsed to a non-string"
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let prop_json_bytes_round_trip =
+  let arbitrary_bytes =
+    QCheck.string_gen QCheck.Gen.(map Char.chr (int_range 0 255))
+  in
+  QCheck.Test.make ~count:500 ~name:"arbitrary byte strings round-trip"
+    arbitrary_bytes (fun s ->
+      let open E.Json in
+      (* both as a value and as an object key *)
+      match parse (to_string (Obj [ (s, Str s) ])) with
+      | Ok (Obj [ (k, Str v) ]) -> String.equal k s && String.equal v s
+      | _ -> false)
+
 (* ---------- Cost phases and trace spans line up on Scheme.build ---------- *)
 
 let test_scheme_phase_alignment () =
@@ -401,6 +434,9 @@ let () =
           Alcotest.test_case "faulty run report round-trip" `Quick
             test_json_report_round_trip_faulty_run;
           Alcotest.test_case "member access" `Quick test_json_member_access;
+          Alcotest.test_case "DEL and UTF-8 byte escaping" `Quick
+            test_json_bytes_escaping;
+          QCheck_alcotest.to_alcotest ~long:false prop_json_bytes_round_trip;
         ] );
       ( "integration",
         [

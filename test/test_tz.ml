@@ -168,6 +168,68 @@ let test_oracle_stretch () =
       done)
     [ 2; 3; 4 ]
 
+(* ---------- oracle: disconnected vs broken-hierarchy exhaustion ---------- *)
+
+let test_oracle_disconnected () =
+  (* two components: exhaustion across them is the legitimate answer *)
+  let c1 = er_graph ~seed:61 ~n:40 ~deg:4.0 () in
+  let edges =
+    Graph.edges c1
+    @ List.map
+        (fun { Graph.u; v; w } -> { Graph.u = u + 40; v = v + 40; w })
+        (Graph.edges c1)
+  in
+  let g = Graph.of_edges ~n:80 edges in
+  let oracle = Tz.Oracle.build ~rng:(rng 62) ~k:3 g in
+  (* across components: Disconnected, and query reports plain infinity *)
+  Alcotest.(check bool)
+    "checked = Disconnected" true
+    (Tz.Oracle.query_checked oracle 3 47 = Tz.Oracle.Disconnected);
+  Alcotest.(check bool)
+    "query = infinity" true
+    (Tz.Oracle.query oracle 3 47 = infinity);
+  (* within a component everything stays finite *)
+  Alcotest.(check bool)
+    "same-component query finite" true
+    (Float.is_finite (Tz.Oracle.query oracle 3 17))
+
+let test_oracle_broken_hierarchy () =
+  let g = er_graph ~seed:63 ~n:60 ~deg:5.0 () in
+  let oracle = Tz.Oracle.build ~rng:(rng 64) ~k:3 g in
+  let h = Tz.Oracle.hierarchy oracle in
+  let k = Tz.Oracle.k oracle in
+  let u = 5 and v = 41 in
+  Alcotest.(check bool)
+    "intact pair answers" true
+    (Float.is_finite (Tz.Oracle.query oracle u v));
+  (* corrupt every bunch entry the walk for (u, v) can reach, mirroring the
+     walk's swap discipline, so the walk is guaranteed to exhaust *)
+  let o = ref oracle in
+  let rec corrupt i u' v' w =
+    o := Tz.Oracle.drop_bunch_entry !o ~v:v' ~w;
+    let i = i + 1 in
+    if i < k then begin
+      let u'', v'' = (v', u') in
+      match Tz.Hierarchy.pivot h i u'' with
+      | None -> ()
+      | Some w' -> corrupt i u'' v'' w'
+    end
+  in
+  corrupt 0 u v u;
+  (match Tz.Oracle.query_checked !o u v with
+  | Tz.Oracle.Broken_hierarchy { u = bu; v = bv; level } ->
+    Alcotest.(check bool) "reports the queried pair" true (bu = u && bv = v);
+    Alcotest.(check bool) "level within hierarchy" true (level >= 1 && level <= k)
+  | Tz.Oracle.Distance d -> Alcotest.failf "corrupted walk answered %f" d
+  | Tz.Oracle.Disconnected -> Alcotest.fail "connected pair reported Disconnected");
+  (match Tz.Oracle.query !o u v with
+  | exception Invalid_argument _ -> ()
+  | d -> Alcotest.failf "query on corrupted oracle returned %f instead of raising" d);
+  (* the corruption hook copies: the original oracle still answers *)
+  Alcotest.(check bool)
+    "original untouched" true
+    (Float.is_finite (Tz.Oracle.query oracle u v))
+
 let test_oracle_symmetric_zero () =
   let g = er_graph ~seed:71 ~n:50 () in
   let oracle = Tz.Oracle.build ~rng:(rng 73) ~k:3 g in
@@ -428,6 +490,9 @@ let () =
         [
           Alcotest.test_case "stretch 2k-1" `Slow test_oracle_stretch;
           Alcotest.test_case "self distance" `Quick test_oracle_symmetric_zero;
+          Alcotest.test_case "disconnected pairs" `Quick test_oracle_disconnected;
+          Alcotest.test_case "broken hierarchy detected" `Quick
+            test_oracle_broken_hierarchy;
         ] );
       ( "tree-routing",
         [
