@@ -1,0 +1,90 @@
+(* The single emission path for every bench experiment.
+
+   [emit name fields] writes two files next to the working directory:
+
+     BENCH_<name>.json          -- this run
+     BENCH_<name>-latest.json   -- pointer copy, the baseline the *next*
+                                   run diffs against
+
+   Before overwriting the pointer, the previous run (if any) is parsed
+   back with {!Congest.Export.Json.parse} and every numeric leaf that
+   exists in both documents is compared; the largest relative moves are
+   printed as [trend] lines so regressions surface in the bench log
+   without any external tooling. *)
+
+module J = Congest.Export.Json
+
+let read_json path =
+  if not (Sys.file_exists path) then None
+  else
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match J.parse s with Ok j -> Some j | Error _ -> None
+
+(* Numeric leaves as (dotted-path, value); array slots are indexed so rows
+   line up positionally between runs. *)
+let leaves doc =
+  let join p k = if p = "" then k else p ^ "." ^ k in
+  let rec go p acc = function
+    | J.Int i -> (p, float_of_int i) :: acc
+    | J.Float f -> (p, f) :: acc
+    | J.Obj fields ->
+      List.fold_left (fun acc (k, v) -> go (join p k) acc v) acc fields
+    | J.Arr xs ->
+      snd
+        (List.fold_left
+           (fun (i, acc) v -> (i + 1, go (join p (string_of_int i)) acc v))
+           (0, acc) xs)
+    | J.Null | J.Bool _ | J.Str _ -> acc
+  in
+  go "" [] doc
+
+let max_trend_lines = 8
+
+let print_trend name prev cur =
+  let prev_tbl = Hashtbl.create 64 in
+  List.iter (fun (p, v) -> Hashtbl.replace prev_tbl p v) (leaves prev);
+  let deltas =
+    List.filter_map
+      (fun (p, v) ->
+        match Hashtbl.find_opt prev_tbl p with
+        | Some v0 when v <> v0 ->
+          let rel =
+            if v0 = 0.0 then infinity else (v -. v0) /. Float.abs v0
+          in
+          Some (p, v0, v, rel)
+        | _ -> None)
+      (leaves cur)
+  in
+  match deltas with
+  | [] -> Printf.printf "[trend] %s: no numeric change vs previous run\n" name
+  | _ ->
+    let deltas =
+      List.sort
+        (fun (_, _, _, a) (_, _, _, b) ->
+          compare (Float.abs b) (Float.abs a))
+        deltas
+    in
+    let shown = List.filteri (fun i _ -> i < max_trend_lines) deltas in
+    List.iter
+      (fun (p, v0, v, rel) ->
+        let pct =
+          if Float.is_finite rel then Printf.sprintf "%+.1f%%" (rel *. 100.0)
+          else "new-from-zero"
+        in
+        Printf.printf "[trend] %s %s: %g -> %g (%s)\n" name p v0 v pct)
+      shown;
+    let rest = List.length deltas - List.length shown in
+    if rest > 0 then Printf.printf "[trend] %s: ... and %d more\n" name rest
+
+let emit name fields =
+  let doc = J.Obj (("experiment", J.Str name) :: fields) in
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  let latest = Printf.sprintf "BENCH_%s-latest.json" name in
+  (match read_json latest with
+  | Some prev -> print_trend name prev doc
+  | None -> ());
+  Congest.Export.to_file path doc;
+  Congest.Export.to_file latest doc;
+  Printf.printf "[json] wrote %s (+ %s)\n" path latest

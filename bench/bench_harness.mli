@@ -1,0 +1,10 @@
+(** The single emission path for bench experiments.
+
+    [emit name fields] writes [BENCH_<name>.json] plus a
+    [BENCH_<name>-latest.json] pointer copy, and — when a previous run's
+    pointer exists — prints [trend] lines for the numeric leaves that
+    moved the most (relative), so perf drift is visible run-over-run
+    straight from the bench log. An ["experiment"] field holding [name]
+    is prepended to [fields]. *)
+
+val emit : string -> (string * Congest.Export.Json.t) list -> unit

@@ -12,7 +12,9 @@
    peak per-vertex memory words. EXPERIMENTS.md records paper-vs-measured.
 
    Every experiment also writes a machine-readable BENCH_<name>.json next to
-   the working directory (validated by `drr json-check` in CI). *)
+   the working directory (validated by `drr json-check` in CI), plus a
+   BENCH_<name>-latest.json pointer used by Bench_harness to print trend
+   deltas against the previous run. *)
 
 open Dgraph
 module J = Congest.Export.Json
@@ -27,10 +29,7 @@ let header title =
   Printf.printf "== %s\n" title;
   line ()
 
-let emit_json name fields =
-  let path = Printf.sprintf "BENCH_%s.json" name in
-  Congest.Export.to_file path (J.Obj (("experiment", J.Str name) :: fields));
-  Printf.printf "[json] wrote %s\n" path
+let emit_json = Bench_harness.emit
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: distributed exact tree routing                              *)
@@ -830,6 +829,9 @@ let perf () =
       type t = int
 
       let words _ = 1
+      let slots = 1
+      let encode s b v = Congest.Slab.set s b v
+      let decode s b = Congest.Slab.get s b
     end) in
     let laps = 50 in
     let g = Gen.ring ~rng:(rng (4400 + n)) ~n () in
@@ -929,6 +931,9 @@ let tracecost ?(check = false) () =
     type t = int
 
     let words _ = 1
+    let slots = 1
+    let encode s b v = Congest.Slab.set s b v
+    let decode s b = Congest.Slab.get s b
   end) in
   let g = Gen.ring ~rng:(rng 2600) ~n:64 () in
   let syncs = 500 in
@@ -1407,6 +1412,218 @@ let traffic_bench ?(smoke = false) () =
       ("rows", J.Arr (List.rev !jrows));
     ]
 
+(* ------------------------------------------------------------------ *)
+(* scale: domain-sharded scheduler throughput + bit-identity gate       *)
+(* ------------------------------------------------------------------ *)
+
+(* Two sections:
+
+   1. domain scaling -- a protocol-bound run repeated at domains 1/2/4;
+      every multi-domain row is gated on bit-identity (metrics JSON +
+      routing structures) against the domains=1 baseline before its
+      timing is reported. Note the speedup column only means something
+      on a multi-core host; on a 1-CPU container it measures barrier
+      overhead, which is worth tracking too.
+
+   2. big runs -- grid and ER tree-routing at growing n (up to 10^6 in
+      the full experiment), reporting wall time, vertex-rounds/sec and
+      bytes/round from the slab transport.
+
+   A bit-identity violation is a correctness bug in the sharded
+   scheduler, so it exits nonzero (this is the gate CI's smoke row
+   relies on). *)
+
+let scale ?(smoke = false) () =
+  let module DS = Routing.Dist_scheme in
+  let module TR = Routing.Dist_tree_routing in
+  header
+    (if smoke then "scale (smoke): sharded scheduler -- identity gate + tiny rows"
+     else "scale: sharded scheduler -- throughput and bit-identity");
+  let jrows = ref [] in
+  let fingerprint m = J.to_string (Congest.Export.metrics m) in
+  let gate_fail label =
+    Printf.eprintf
+      "scale: %s diverged from the domains=1 baseline -- sharding bug\n" label;
+    exit 1
+  in
+  let domain_counts = if smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  (* -------- section 1a: tree routing, ER (protocol-bound) -------- *)
+  let er_n = if smoke then 192 else 4096 in
+  let g = Gen.connected_erdos_renyi ~rng:(rng 9001) ~n:er_n ~avg_deg:8.0 () in
+  let tree = Tree.bfs_spanning g ~root:0 in
+  Printf.printf "%-22s %8s %7s | %9s %10s %12s %11s %9s %5s\n" "row" "n"
+    "domains" "wall(s)" "rounds" "vtx-rnds/s" "bytes/rnd" "speedup" "gate";
+  line ();
+  let base = ref None in
+  let base_wall = ref 0.0 in
+  List.iter
+    (fun domains ->
+      let t0 = Unix.gettimeofday () in
+      let out = TR.run ~rng:(rng 9002) ~domains g ~tree in
+      let wall = Unix.gettimeofday () -. t0 in
+      assert (out.TR.failures = []);
+      let m = out.TR.report in
+      let fp = fingerprint m in
+      let ok =
+        match !base with
+        | None ->
+          base := Some (fp, out.TR.scheme, out.TR.u_count);
+          base_wall := wall;
+          true
+        | Some (fp0, scheme0, u0) ->
+          fp = fp0 && out.TR.scheme = scheme0 && out.TR.u_count = u0
+      in
+      if not ok then gate_fail (Printf.sprintf "tree-er domains=%d" domains);
+      let rounds = m.Congest.Metrics.rounds in
+      let vrps = float_of_int (rounds * er_n) /. wall in
+      let bpr =
+        8.0 *. float_of_int m.Congest.Metrics.message_words
+        /. float_of_int (max 1 rounds)
+      in
+      Printf.printf "%-22s %8d %7d | %9.3f %10d %12.3e %11.1f %8.2fx %5s\n"
+        "tree-er" er_n domains wall rounds vrps bpr (!base_wall /. wall) "ok";
+      jrows :=
+        J.Obj
+          [
+            ("row", J.Str "tree-er");
+            ("topology", J.Str "er");
+            ("n", J.Int er_n);
+            ("domains", J.Int domains);
+            ("wall_s", J.Float wall);
+            ("rounds", J.Int rounds);
+            ("messages", J.Int m.Congest.Metrics.messages);
+            ("vertex_rounds_per_sec", J.Float vrps);
+            ("bytes_per_round", J.Float bpr);
+            ("speedup_vs_1", J.Float (!base_wall /. wall));
+            ("identical", J.Bool true);
+          ]
+        :: !jrows)
+    domain_counts;
+  (* -------- section 1b: dist-scheme, ER -------- *)
+  let ds_n = if smoke then 48 else 512 in
+  let ds_g =
+    Gen.connected_erdos_renyi ~rng:(rng 9003)
+      ~weights:(Gen.uniform_weights 1.0 4.0) ~n:ds_n ~avg_deg:4.0 ()
+  in
+  let ds_base = ref None in
+  let ds_base_wall = ref 0.0 in
+  List.iter
+    (fun domains ->
+      let t0 = Unix.gettimeofday () in
+      let o = DS.run ~rng:(rng 9004) ~k:4 ~domains ds_g in
+      let wall = Unix.gettimeofday () -. t0 in
+      assert (o.DS.failures = []);
+      let m = o.DS.report in
+      let fp = fingerprint m in
+      let ok =
+        match !ds_base with
+        | None ->
+          ds_base := Some (fp, o.DS.exact, o.DS.virtual_rows, o.DS.phase_rounds);
+          ds_base_wall := wall;
+          true
+        | Some (fp0, e0, vr0, pr0) ->
+          fp = fp0 && o.DS.exact = e0 && o.DS.virtual_rows = vr0
+          && o.DS.phase_rounds = pr0
+      in
+      if not ok then
+        gate_fail (Printf.sprintf "distscheme-er domains=%d" domains);
+      let rounds = m.Congest.Metrics.rounds in
+      let vrps = float_of_int (rounds * ds_n) /. wall in
+      let bpr =
+        8.0 *. float_of_int m.Congest.Metrics.message_words
+        /. float_of_int (max 1 rounds)
+      in
+      Printf.printf "%-22s %8d %7d | %9.3f %10d %12.3e %11.1f %8.2fx %5s\n"
+        "distscheme-er" ds_n domains wall rounds vrps bpr
+        (!ds_base_wall /. wall) "ok";
+      jrows :=
+        J.Obj
+          [
+            ("row", J.Str "distscheme-er");
+            ("topology", J.Str "er");
+            ("n", J.Int ds_n);
+            ("k", J.Int 4);
+            ("domains", J.Int domains);
+            ("wall_s", J.Float wall);
+            ("rounds", J.Int rounds);
+            ("messages", J.Int m.Congest.Metrics.messages);
+            ("vertex_rounds_per_sec", J.Float vrps);
+            ("bytes_per_round", J.Float bpr);
+            ("speedup_vs_1", J.Float (!ds_base_wall /. wall));
+            ("identical", J.Bool true);
+          ]
+        :: !jrows)
+    domain_counts;
+  (* -------- section 2: big tree-routing runs -------- *)
+  (* At n = 10^6 the paper's q = 1/sqrt n puts ~1000 vertices in U(T), and
+     the pointer-jumping stages broadcast from each of them log n times --
+     ~10^11 relay-words, days of 1-CPU simulation. The big rows pass an
+     explicit q targeting |U| ~ 8 instead: same protocol, same exactness
+     gate, message volume ~ n polylog + 8 n log n words, which a single
+     core simulates in around an hour. (q trades |U| against local-tree
+     height, i.e. rounds and per-vertex memory -- both visible in the
+     emitted metrics.) *)
+  let big ~label ~make ~domains ?q () =
+    let g, tree = make () in
+    let n = Graph.n g in
+    let t0 = Unix.gettimeofday () in
+    let out = TR.run ~rng:(rng 9005) ~domains ?q g ~tree in
+    let wall = Unix.gettimeofday () -. t0 in
+    assert (out.TR.failures = []);
+    let m = out.TR.report in
+    let rounds = m.Congest.Metrics.rounds in
+    let vrps = float_of_int (rounds * n) /. wall in
+    let bpr =
+      8.0 *. float_of_int m.Congest.Metrics.message_words
+      /. float_of_int (max 1 rounds)
+    in
+    Printf.printf "%-22s %8d %7d | %9.3f %10d %12.3e %11.1f %8s %5s\n" label n
+      domains wall rounds vrps bpr "-" "-";
+    jrows :=
+      J.Obj
+        [
+          ("row", J.Str label);
+          ("n", J.Int n);
+          ("domains", J.Int domains);
+          ("q", (match q with None -> J.Null | Some q -> J.Float q));
+          ("u_count", J.Int out.TR.u_count);
+          ("wall_s", J.Float wall);
+          ("rounds", J.Int rounds);
+          ("messages", J.Int m.Congest.Metrics.messages);
+          ("vertex_rounds_per_sec", J.Float vrps);
+          ("bytes_per_round", J.Float bpr);
+        ]
+      :: !jrows
+  in
+  if smoke then
+    big ~label:"grid-32x32" ~domains:2
+      ~make:(fun () ->
+        let g = Gen.grid ~rng:(rng 9010) ~rows:32 ~cols:32 () in
+        (g, Tree.bfs_spanning g ~root:0))
+      ()
+  else begin
+    big ~label:"grid-100x100" ~domains:4
+      ~make:(fun () ->
+        let g = Gen.grid ~rng:(rng 9010) ~rows:100 ~cols:100 () in
+        (g, Tree.bfs_spanning g ~root:0))
+      ();
+    big ~label:"grid-1000x1000" ~domains:4 ~q:0.000008
+      ~make:(fun () ->
+        let g = Gen.grid ~rng:(rng 9011) ~rows:1000 ~cols:1000 () in
+        (g, Tree.bfs_spanning g ~root:0))
+      ();
+    big ~label:"er-1M" ~domains:4 ~q:0.000008
+      ~make:(fun () ->
+        (* sparse G(n,m) is disconnected; the protocol needs a connected
+           network, so route on the giant component (~98% of n). *)
+        let g0 = Gen.gnm ~rng:(rng 9012) ~n:1_020_000 ~m:2_100_000 () in
+        let g = fst (Graph.largest_component g0) in
+        (g, Tree.bfs_spanning g ~root:0))
+      ()
+  end;
+  emit_json "scale"
+    [ ("smoke", J.Bool smoke); ("rows", J.Arr (List.rev !jrows)) ]
+
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let all =
@@ -1414,6 +1631,7 @@ let () =
       table2; table1; fig_a; fig_b; fig_c; fig_d; fig_e; fig_f; faults; timing;
       tree_bench; scheme_bench; (fun () -> tracecost ()); perf; distscheme;
       churn_bench; (fun () -> traffic_bench ());
+      (fun () -> scale ~smoke:true ());
     ]
   in
   match which with
@@ -1437,9 +1655,11 @@ let () =
   | "churn" -> churn_bench ()
   | "traffic" -> traffic_bench ()
   | "traffic-smoke" -> traffic_bench ~smoke:true ()
+  | "scale" -> scale ()
+  | "scale-smoke" -> scale ~smoke:true ()
   | other ->
     Printf.eprintf
       "unknown experiment %S \
-       (table1|table2|figA|figB|figC|figD|figE|figF|faults|timing|tree|scheme|tracecost|tracecost-check|perf|distscheme|churn|traffic|traffic-smoke|all)\n"
+       (table1|table2|figA|figB|figC|figD|figE|figF|faults|timing|tree|scheme|tracecost|tracecost-check|perf|distscheme|churn|traffic|traffic-smoke|scale|scale-smoke|all)\n"
       other;
     exit 1

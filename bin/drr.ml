@@ -140,6 +140,14 @@ let reliable_t =
           "Run over the reliable transport (default: true exactly when any \
            fault is injected).")
 
+let domains_t =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Shard the simulator's event engine across $(docv) OCaml domains \
+           (outcome is bit-identical to --domains 1).")
+
 let q_t =
   Arg.(
     value
@@ -270,7 +278,7 @@ let route_cmd =
 (* ---- tree ---- *)
 
 let tree_cmd =
-  let run seed n topology q faults reliable rounds_limit json =
+  let run seed n topology q faults reliable rounds_limit domains json =
     let g = make_graph ~seed ~n topology in
     let rng = Random.State.make [| seed; 4 |] in
     let tree = Tree.bfs_spanning g ~root:0 in
@@ -281,7 +289,7 @@ let tree_cmd =
     let trace = if json then Some (Congest.Trace.make ()) else None in
     let out =
       Routing.Dist_tree_routing.run ~rng ?q ?faults ?reliable ?trace
-        ?max_rounds:rounds_limit g ~tree
+        ?max_rounds:rounds_limit ~domains g ~tree
     in
     let m = out.Routing.Dist_tree_routing.report in
     if json then
@@ -348,20 +356,20 @@ let tree_cmd =
     (Cmd.info "tree" ~doc:"Run the distributed tree-routing protocol on the simulator.")
     Term.(
       const run $ seed_t $ n_t $ topology_t $ q_t $ faults_t $ reliable_t
-      $ rounds_limit_t $ json_t)
+      $ rounds_limit_t $ domains_t $ json_t)
 
 (* ---- trace ---- *)
 
 let trace_cmd =
-  let run seed n topology q rounds_limit json =
+  let run seed n topology q rounds_limit domains json =
     let g = make_graph ~seed ~n topology in
     let rng = Random.State.make [| seed; 4 |] in
     let tree = Tree.bfs_spanning g ~root:0 in
     let tr = Congest.Trace.make () in
     let t0 = Unix.gettimeofday () in
     let out =
-      Routing.Dist_tree_routing.run ~rng ?q ~trace:tr ?max_rounds:rounds_limit g
-        ~tree
+      Routing.Dist_tree_routing.run ~rng ?q ~trace:tr ?max_rounds:rounds_limit
+        ~domains g ~tree
     in
     let wall = Unix.gettimeofday () -. t0 in
     let m = out.Routing.Dist_tree_routing.report in
@@ -419,7 +427,9 @@ let trace_cmd =
        ~doc:
          "Run the tree-routing protocol under a trace and print the per-phase \
           round breakdown (rows sum to the measured round count).")
-    Term.(const run $ seed_t $ n_t $ topology_t $ q_t $ rounds_limit_t $ json_t)
+    Term.(
+      const run $ seed_t $ n_t $ topology_t $ q_t $ rounds_limit_t $ domains_t
+      $ json_t)
 
 (* ---- dist-scheme ---- *)
 
@@ -439,7 +449,7 @@ let dist_scheme_cmd =
       & info [ "no-check" ]
           ~doc:"Skip the differential gate against the centralized exact stage.")
   in
-  let run seed n k topology b faults reliable rounds_limit no_check json =
+  let run seed n k topology b faults reliable rounds_limit domains no_check json =
     let g = make_graph ~seed ~n topology in
     let rng = Random.State.make [| seed; 6 |] in
     if not json then begin
@@ -450,7 +460,7 @@ let dist_scheme_cmd =
     let trace = if json then Some (Congest.Trace.make ()) else None in
     let out =
       Routing.Dist_scheme.run ~rng ~k ?b ?faults ?reliable ?trace
-        ?max_rounds:rounds_limit g
+        ?max_rounds:rounds_limit ~domains g
     in
     let divergences =
       if no_check || out.Routing.Dist_scheme.failures <> [] then None
@@ -539,7 +549,7 @@ let dist_scheme_cmd =
           computation.")
     Term.(
       const run $ seed_t $ n_t $ k_t $ topology_t $ b_t $ faults_t $ reliable_t
-      $ rounds_limit_t $ no_check_t $ json_t)
+      $ rounds_limit_t $ domains_t $ no_check_t $ json_t)
 
 (* ---- churn ---- *)
 

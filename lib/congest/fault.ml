@@ -29,7 +29,6 @@ type verdict = Deliver | Drop | Duplicate | Delay of int
 
 type t = {
   spec : spec;
-  rng : Random.State.t;
   (* (u lsl 31) lor v -> outage windows [from, until) of the directed edge
      u->v, permanent failures encoded as [(r, max_int)]; both directions of
      an undirected failure or flap are registered. The packed int key keeps
@@ -84,7 +83,7 @@ let make spec =
       | Some r' when r' <= r -> ()
       | _ -> Hashtbl.replace crash v r)
     spec.crashes;
-  { spec; rng = Random.State.make [| 0x5eed; spec.seed |]; down; crash }
+  { spec; down; crash }
 
 let spec t = t.spec
 
@@ -96,17 +95,49 @@ let link_down t ~round u v =
 
 let crash_round t v = Hashtbl.find_opt t.crash v
 
-let classify t ~round ~src ~dst =
+(* Per-message verdicts are a pure hash of the message's coordinate
+   (seed, round, src, dst, k) — no sequential random stream. The stream
+   version consumed one draw per enabled feature in simulator send order,
+   which made every verdict depend on the global interleaving of sends;
+   under the domain-sharded scheduler that order is not defined, so
+   verdicts must be (and now are) a function of the message alone.
+   splitmix64's finalizer scrambles each field into the accumulator; a
+   distinct salt per decision keeps the drop/duplicate/delay/amount draws
+   independent of one another. *)
+let mix64 (z : int64) =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hash_coord ~seed ~round ~src ~dst ~k ~salt =
+  let golden = 0x9e3779b97f4a7c15L in
+  let step acc x = mix64 (Int64.add (Int64.logxor acc (Int64.of_int x)) golden) in
+  let acc = mix64 (Int64.add (Int64.of_int seed) golden) in
+  let acc = step acc round in
+  let acc = step acc src in
+  let acc = step acc dst in
+  let acc = step acc k in
+  step acc salt
+
+(* uniform in [0,1): top 53 bits of the hash *)
+let u01 ~seed ~round ~src ~dst ~k ~salt =
+  let h = hash_coord ~seed ~round ~src ~dst ~k ~salt in
+  Int64.to_float (Int64.shift_right_logical h 11) *. 0x1.0p-53
+
+let classify t ~round ~src ~dst ~k =
   if link_down t ~round src dst then Drop
   else begin
     let s = t.spec in
-    (* every probabilistic feature that is switched on consumes exactly one
-       draw per message, so the rng stream — and hence the whole run — is a
-       deterministic function of the spec *)
-    let hit p = p > 0.0 && Random.State.float t.rng 1.0 < p in
-    if hit s.drop then Drop
-    else if hit s.duplicate then Duplicate
-    else if hit s.delay && s.max_delay > 0 then
-      Delay (1 + Random.State.int t.rng s.max_delay)
+    let seed = s.seed in
+    let hit salt p = p > 0.0 && u01 ~seed ~round ~src ~dst ~k ~salt < p in
+    if hit 1 s.drop then Drop
+    else if hit 2 s.duplicate then Duplicate
+    else if hit 3 s.delay && s.max_delay > 0 then begin
+      let h = hash_coord ~seed ~round ~src ~dst ~k ~salt:4 in
+      let amount =
+        Int64.to_int (Int64.rem (Int64.shift_right_logical h 1) (Int64.of_int s.max_delay))
+      in
+      Delay (1 + amount)
+    end
     else Deliver
   end

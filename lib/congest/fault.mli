@@ -9,11 +9,13 @@
     CONGEST constraints.
 
     Determinism: a plan is compiled from a {!spec} whose [seed] fully
-    determines the random stream. The simulator's scheduling is itself
-    deterministic, so two runs of the same protocol under plans made from the
-    same spec produce identical outcomes and identical {!Metrics} counters.
-    A compiled plan is stateful (it consumes its random stream as the run
-    asks for verdicts): make a fresh plan for every run. *)
+    determines every verdict. The fate of a message is a pure hash of
+    [(seed, round, src, dst, k)] where [k] is the message's index among the
+    sends of the same directed edge in the same round — not a draw from a
+    sequential random stream — so verdicts do not depend on the order the
+    simulator asks for them. That order-independence is what lets the
+    domain-sharded scheduler classify messages from many domains in
+    parallel and still reproduce the single-domain run bit for bit. *)
 
 type spec = {
   seed : int;  (** seed of the plan's private random stream *)
@@ -47,7 +49,9 @@ val is_none : spec -> bool
     against {!none}, to decide whether a spec is a real fault plan. *)
 
 type t
-(** A compiled, stateful plan. *)
+(** A compiled plan. Verdicts are pure; the only per-run state is the
+    simulator's own (crash application, delayed-message parking), so a plan
+    value may be consulted concurrently from several domains. *)
 
 val make : spec -> t
 (** Compile a spec. @raise Invalid_argument on probabilities outside [0,1],
@@ -63,10 +67,12 @@ type verdict =
   | Duplicate  (** deliver two copies *)
   | Delay of int  (** deliver the given number of rounds late *)
 
-val classify : t -> round:int -> src:int -> dst:int -> verdict
-(** Fate of one message crossing src->dst in the given round. Consumes the
-    plan's random stream; call exactly once per message, in a deterministic
-    order. *)
+val classify : t -> round:int -> src:int -> dst:int -> k:int -> verdict
+(** Fate of the [k]-th message (0-based) crossing src->dst in the given
+    round. Pure: the same arguments always yield the same verdict, in any
+    call order, from any domain. The simulator derives [k] from its
+    per-port capacity counter, so every physical message gets a distinct
+    coordinate. *)
 
 val link_down : t -> round:int -> int -> int -> bool
 

@@ -11,13 +11,20 @@ type t = {
   mutable counts : int array;  (* counts.(v) = samples with value v *)
   mutable total : int;
   mutable vmax : int;
+  mutable vmin : int;  (* max_int while empty *)
   mutable sum : int;
 }
 
 let initial_capacity = 64
 
 let create () =
-  { counts = Array.make initial_capacity 0; total = 0; vmax = 0; sum = 0 }
+  {
+    counts = Array.make initial_capacity 0;
+    total = 0;
+    vmax = 0;
+    vmin = max_int;
+    sum = 0;
+  }
 
 let grow t v =
   let cap = ref (Array.length t.counts) in
@@ -34,10 +41,12 @@ let add t v =
   t.counts.(v) <- t.counts.(v) + 1;
   t.total <- t.total + 1;
   t.sum <- t.sum + v;
-  if v > t.vmax then t.vmax <- v
+  if v > t.vmax then t.vmax <- v;
+  if v < t.vmin then t.vmin <- v
 
 let count t = t.total
 let max_value t = t.vmax
+let min_value t = if t.total = 0 then 0 else t.vmin
 let sum t = t.sum
 
 let mean t =
@@ -79,7 +88,8 @@ let merge a b =
         t.counts.(v) <- t.counts.(v) + c;
         t.total <- t.total + c;
         t.sum <- t.sum + (v * c);
-        if v > t.vmax then t.vmax <- v
+        if v > t.vmax then t.vmax <- v;
+        if v < t.vmin then t.vmin <- v
       end
     done
   in

@@ -18,6 +18,9 @@ val count : t -> int
 val max_value : t -> int
 (** Largest sample seen (0 when empty). *)
 
+val min_value : t -> int
+(** Smallest sample seen (0 when empty). *)
+
 val sum : t -> int
 val mean : t -> float
 
@@ -29,7 +32,11 @@ val percentile : t -> int -> int
 val of_array : int array -> t
 
 val merge : t -> t -> t
-(** Fresh histogram holding both sample sets. *)
+(** Fresh histogram holding both sample sets. Exact: counts are integer
+    sums, so every derived statistic (count, sum, mean, min, max, any
+    percentile) of the merge equals that of a single accumulator fed both
+    sample streams — the invariant the per-domain metrics merge of the
+    sharded scheduler relies on, property-tested in the suite. *)
 
 val buckets : t -> (int * int) list
 (** Non-empty [(value, count)] pairs in increasing value order. *)

@@ -58,6 +58,34 @@ module Make (M : Sim.MESSAGE) = struct
       | Eor _ -> 3
       | Fin _ -> 2
       | Ack _ -> 2
+
+    (* slab layout: [tag; seq/upto; rest]; Data nests M's codec in [rest],
+       Eor reuses its first slot for the virtual round *)
+    let slots = 2 + max 1 M.slots
+
+    let encode s base = function
+      | Data { seq; body } ->
+        Slab.set s base 0;
+        Slab.set s (base + 1) seq;
+        M.encode s (base + 2) body
+      | Eor { seq; vr } ->
+        Slab.set s base 1;
+        Slab.set s (base + 1) seq;
+        Slab.set s (base + 2) vr
+      | Fin { seq } ->
+        Slab.set s base 2;
+        Slab.set s (base + 1) seq
+      | Ack { upto } ->
+        Slab.set s base 3;
+        Slab.set s (base + 1) upto
+
+    let decode s base =
+      match Slab.get s base with
+      | 0 -> Data { seq = Slab.get s (base + 1); body = M.decode s (base + 2) }
+      | 1 -> Eor { seq = Slab.get s (base + 1); vr = Slab.get s (base + 2) }
+      | 2 -> Fin { seq = Slab.get s (base + 1) }
+      | 3 -> Ack { upto = Slab.get s (base + 1) }
+      | t -> invalid_arg (Printf.sprintf "Reliable: corrupt frame tag %d" t)
   end
 
   module S = Sim.Make (F)
@@ -487,14 +515,14 @@ module Make (M : Sim.MESSAGE) = struct
     drive ()
 
   let run ?max_rounds ?(edge_capacity = 1) ?(word_limit = 8) ?faults ?trace
-      ?scheduler ?(config = default_config) g ~node =
+      ?scheduler ?domains ?(config = default_config) g ~node =
     if config.ack_timeout < 1 || config.backoff < 1 || config.max_retries < 1 then
       invalid_arg "Reliable.run: config fields must be >= 1";
     let burst = edge_capacity + 1 in
     S.run ?max_rounds
       ~edge_capacity:(burst + 1) (* stream burst + one ack per real round *)
       ~word_limit:(word_limit + 2) (* frame header: tag + seq *)
-      ?faults ?trace ?scheduler g
+      ?faults ?trace ?scheduler ?domains g
       ~node:(fun (sctx : S.ctx) ->
         let ep = make_ep config ~data_cap:edge_capacity ~word_limit ?trace sctx in
         let rctx =

@@ -60,6 +60,7 @@ module Make (M : Sim.MESSAGE) : sig
     ?faults:Fault.t ->
     ?trace:Trace.t ->
     ?scheduler:Sim.scheduler ->
+    ?domains:int ->
     ?config:config ->
     Dgraph.Graph.t ->
     node:((module Sim.TRANSPORT with type msg = M.t) -> ctx -> unit) ->

@@ -2,6 +2,9 @@ module type MESSAGE = sig
   type t
 
   val words : t -> int
+  val slots : int
+  val encode : Slab.t -> int -> t -> unit
+  val decode : Slab.t -> int -> t
 end
 
 exception Congestion of { vertex : int; port : int; round : int }
@@ -121,12 +124,23 @@ module Make (M : MESSAGE) = struct
 
   type inbox = (int * M.t) list
 
+  (* Record layouts. Messages live as flat int records in slabs from the
+     moment they are sent to the moment the receiving program reads its
+     inbox; [M.encode]/[M.decode] at those two boundaries are the only
+     places a boxed message exists.
+
+     - inbuf record (per-vertex buffer): [port; payload x M.slots]
+     - outbox record (per-domain transit): [dst; port; payload x M.slots] *)
+  let islots = M.slots
+  let istride = 1 + islots
+  let ostride = 2 + islots
+
   (* Only the blocking operations suspend the vertex's fiber, so only they
      are effects. The non-blocking primitives (send, round, memory
-     accounting) dispatch through [cur_ops] instead: performing an effect
-     costs a continuation capture plus allocation, and sends outnumber
-     suspensions roughly ten to one on the tree-routing workloads. [run]
-     installs its implementations for the duration of the simulation. *)
+     accounting) dispatch through a domain-local ops record instead:
+     performing an effect costs a continuation capture plus allocation, and
+     sends outnumber suspensions roughly ten to one on the tree-routing
+     workloads. [run] installs one ops record per scheduler domain. *)
   type _ Effect.t +=
     | Sync : inbox Effect.t
     | Wait : inbox Effect.t
@@ -143,25 +157,30 @@ module Make (M : MESSAGE) = struct
 
   let ops_outside () = failwith "Sim: transport primitive used outside run"
 
-  let cur_ops =
-    ref
-      {
-        op_send = (fun _ _ -> ops_outside ());
-        op_round = (fun () -> ops_outside ());
-        op_set_memory = (fun _ -> ops_outside ());
-        op_add_memory = (fun _ -> ops_outside ());
-        op_note_retransmit = (fun () -> ops_outside ());
-      }
+  let outside_ops =
+    {
+      op_send = (fun _ _ -> ops_outside ());
+      op_round = (fun () -> ops_outside ());
+      op_set_memory = (fun _ -> ops_outside ());
+      op_add_memory = (fun _ -> ops_outside ());
+      op_note_retransmit = (fun () -> ops_outside ());
+    }
 
-  let send p m = !cur_ops.op_send p m
+  (* Domain-local: each scheduler domain (the caller for domains = 1, each
+     worker otherwise) installs ops closed over its own shard context, so a
+     vertex program's sends are attributed to the domain actually running
+     the fiber without any cross-domain traffic. *)
+  let dls_ops : ops Domain.DLS.key = Domain.DLS.new_key (fun () -> outside_ops)
+
+  let send p m = (Domain.DLS.get dls_ops).op_send p m
   let sync () = Effect.perform Sync
   let wait () = Effect.perform Wait
   let sleep_until r = Effect.perform (Sleep_until r)
   let wait_until r = Effect.perform (Wait_until r)
-  let round () = !cur_ops.op_round ()
-  let set_memory w = !cur_ops.op_set_memory w
-  let add_memory d = !cur_ops.op_add_memory d
-  let note_retransmit () = !cur_ops.op_note_retransmit ()
+  let round () = (Domain.DLS.get dls_ops).op_round ()
+  let set_memory w = (Domain.DLS.get dls_ops).op_set_memory w
+  let add_memory d = (Domain.DLS.get dls_ops).op_add_memory d
+  let note_retransmit () = (Domain.DLS.get dls_ops).op_note_retransmit ()
 
   module Transport = struct
     type msg = M.t
@@ -179,42 +198,13 @@ module Make (M : MESSAGE) = struct
     let dead_ports () = []
   end
 
-  (* Growable (port, message) buffer. The message array materialises lazily
-     on the first push (there is no dummy M.t to prefill with); afterwards
-     both arrays grow by doubling and are never shrunk, so the steady state
-     allocates nothing. *)
-  type msgq = {
-    mutable qport : int array;
-    mutable qmsg : M.t array;
-    mutable qlen : int;
-  }
-
-  let msgq_make () = { qport = [||]; qmsg = [||]; qlen = 0 }
-
-  let msgq_reserve q need filler =
-    if Array.length q.qmsg < need then begin
-      let cap = max need (max 8 (2 * Array.length q.qmsg)) in
-      let np = Array.make cap 0 and nm = Array.make cap filler in
-      Array.blit q.qport 0 np 0 q.qlen;
-      Array.blit q.qmsg 0 nm 0 q.qlen;
-      q.qport <- np;
-      q.qmsg <- nm
-    end
-
-  let msgq_push q p m =
-    if Array.length q.qmsg = q.qlen then msgq_reserve q (q.qlen + 1) m;
-    q.qport.(q.qlen) <- p;
-    q.qmsg.(q.qlen) <- m;
-    q.qlen <- q.qlen + 1
-
   type node_state = {
     id : int;
     mutable cont : (inbox, unit) Effect.Deep.continuation option;
     mutable started : bool;
     mutable crashed : bool;
     mutable wake : wake;
-    inbuf : msgq;  (* delivered, readable messages in arrival order *)
-    pendq : msgq;  (* messages landing this round, in send order *)
+    inbuf : Slab.t;  (* delivered, readable records in arrival order *)
     recv_scratch : int array;  (* per-port counters for the delivery sort *)
     mutable mem_words : int;
     sent_count : int array;
@@ -223,56 +213,80 @@ module Make (M : MESSAGE) = struct
     mutable queued_at : int;  (* last round this vertex was put on a worklist *)
   }
 
-  (* The vertex whose program is currently executing. Vertex fibers run one
-     at a time and never preempt each other, so a single slot — written
-     before every start/resume — is enough for [cur_ops] to attribute a
-     send to its sender without capturing anything. *)
-  let running_st =
-    ref
-      {
-        id = -1;
-        cont = None;
-        started = false;
-        crashed = false;
-        wake = Now;
-        inbuf = msgq_make ();
-        pendq = msgq_make ();
-        recv_scratch = [||];
-        mem_words = 0;
-        sent_count = [||];
-        sent_stamp = [||];
-        timer_at = -1;
-        queued_at = -1;
-      }
+  let dummy_state () =
+    {
+      id = -1;
+      cont = None;
+      started = false;
+      crashed = false;
+      wake = Now;
+      inbuf = Slab.create ();
+      recv_scratch = [||];
+      mem_words = 0;
+      sent_count = [||];
+      sent_stamp = [||];
+      timer_at = -1;
+      queued_at = -1;
+    }
+
+  (* Per-domain shard context. Every field is touched either exclusively by
+     the owning domain (during the parallel Start/Gather/Exec/Deliver
+     phases) or exclusively by the coordinator (between phases); the round
+     barrier's mutex transfers ownership, so no field needs to be atomic. *)
+  type dctx = {
+    dom : int;
+    lo : int;
+    hi : int;  (* owns vertices [lo, hi) *)
+    dmetrics : Metrics.t;
+    ready : ivec;
+    ready_next : ivec;
+    timers : Dgraph.Pqueue.Int_heap.t;
+    mutable dlive : int;
+    out : Slab.t array;  (* out.(e): records bound for domain e's vertices *)
+    scatter : Slab.t;  (* per-round records regrouped by destination *)
+    touched : ivec;  (* destinations with incoming records this round *)
+    runs : ivec;  (* scatter-record index where each touched run starts *)
+    dst_count : int array;  (* per owned vertex, indexed v - lo *)
+    dports : ivec;
+    mutable round_load : int;
+    mutable wake_count : int;
+    mutable delayed_local : (int * int * int * M.t) list;
+    mutable drunning : node_state;
+    mutable dexn : exn option;
+  }
+
+  type cmd = C_start | C_gather | C_exec | C_deliver | C_quit
+
+  (* sense-reversing command barrier: the coordinator publishes (seq, cmd),
+     workers run the phase and count down [pending] *)
+  type par = {
+    pm : Mutex.t;
+    cv_cmd : Condition.t;
+    cv_done : Condition.t;
+    mutable seq : int;
+    mutable cmd : cmd;
+    mutable pending : int;
+  }
 
   let run ?(max_rounds = 50_000_000) ?(edge_capacity = 1) ?(word_limit = 8)
-      ?faults ?trace ?(scheduler = Event_driven) g ~node =
+      ?faults ?trace ?(scheduler = Event_driven) ?(domains = 1) g ~node =
     let open Dgraph in
+    if domains < 1 then invalid_arg "Sim.run: domains must be >= 1";
     let n = Graph.n g in
     let evt = scheduler = Event_driven in
-    let metrics = Metrics.create ~n in
+    (* the scan reference is serial by definition; sharding applies to the
+       event engine *)
+    let nd = if evt then max 1 (min domains n) else 1 in
     let cur_round = ref 0 in
-    (* busiest directed edge of the round being executed; reset each round *)
-    let round_load = ref 0 in
-    (* per-round counter snapshots for the trace ring; hoisted so the
-       traced path allocates nothing per round either *)
-    let tr_m0 = ref 0 and tr_w0 = ref 0 and tr_f0 = ref 0 in
-    let tr_wake = ref 0 in
-    (match trace with
-    | None -> ()
-    | Some t ->
-      Trace.bind t
-        ~clock:(fun () -> !cur_round)
-        ~counters:(fun () ->
-          (metrics.Metrics.messages, metrics.Metrics.message_words)));
     (* messages the fault plan deferred: (landing round, dest, port, msg);
        a message landing in round r becomes readable in round r+1, exactly
-       like a normal send performed in round r *)
+       like a normal send performed in round r. Coordinator-owned; domains
+       park their verdicts locally and the coordinator splices them at the
+       barrier. *)
     let delayed = ref [] in
-    (* Flat port translation, replacing the tuple-keyed Hashtbl the seed
-       scheduler probed on every send: sending through port p of vertex v
-       reaches nbr.(v).(p), arriving there on port rev_port.(v).(p). The
-       int-keyed table below exists only during this setup pass. *)
+    (* Flat port translation: sending through port p of vertex v reaches
+       nbr.(v).(p), arriving there on port rev_port.(v).(p). The int-keyed
+       table below exists only during this setup pass. *)
     let nbr = Array.init n (fun u -> Array.map fst (Graph.neighbors g u)) in
     let rev_port =
       let tbl = Hashtbl.create (4 * Graph.m g) in
@@ -294,8 +308,7 @@ module Make (M : MESSAGE) = struct
             started = false;
             crashed = false;
             wake = Now;
-            inbuf = msgq_make ();
-            pendq = msgq_make ();
+            inbuf = Slab.create ();
             recv_scratch = Array.make (Graph.degree g v) 0;
             mem_words = 0;
             sent_count = Array.make (Graph.degree g v) 0;
@@ -304,18 +317,62 @@ module Make (M : MESSAGE) = struct
             queued_at = -1;
           })
     in
-    (* destinations with a non-empty pendq, and (deliver-local) the distinct
-       ports of one destination's batch *)
-    let touched = ivec_make () in
-    let dports = ivec_make () in
-    (* Event-scheduler state. [ready] is the current attempt's worklist,
-       [ready_next] collects vertices known runnable next round (sync
-       returns, message wakeups), [timers] holds sleep_until/wait_until
-       deadlines under lazy deletion, [crash_sched] the fault plan's crash
-       events in (round, vertex) order, and [live] counts vertices whose
-       program has neither returned nor crash-stopped. *)
-    let ready = ivec_make () and ready_next = ivec_make () in
-    let timers = Pqueue.Int_heap.create () in
+    (* owner.(v) = domain of vertex v; contiguous near-equal blocks *)
+    let block_lo d = d * n / nd in
+    let owner = Array.make (max n 1) 0 in
+    for d = 0 to nd - 1 do
+      for v = block_lo d to block_lo (d + 1) - 1 do
+        owner.(v) <- d
+      done
+    done;
+    let dctxs =
+      Array.init nd (fun d ->
+          let lo = block_lo d and hi = block_lo (d + 1) in
+          {
+            dom = d;
+            lo;
+            hi;
+            dmetrics = Metrics.create ~n;
+            ready = ivec_make ();
+            ready_next = ivec_make ();
+            timers = Pqueue.Int_heap.create ();
+            dlive = hi - lo;
+            out = Array.init nd (fun _ -> Slab.create ());
+            scatter = Slab.create ();
+            touched = ivec_make ();
+            runs = ivec_make ();
+            dst_count = Array.make (max 1 (hi - lo)) 0;
+            dports = ivec_make ();
+            round_load = 0;
+            wake_count = 0;
+            delayed_local = [];
+            drunning = dummy_state ();
+            dexn = None;
+          })
+    in
+    let dctx0 = dctxs.(0) in
+    let sum_msgs () =
+      Array.fold_left (fun a d -> a + d.dmetrics.Metrics.messages) 0 dctxs
+    in
+    let sum_words () =
+      Array.fold_left (fun a d -> a + d.dmetrics.Metrics.message_words) 0 dctxs
+    in
+    let sum_faults () =
+      Array.fold_left
+        (fun a d ->
+          a + d.dmetrics.Metrics.dropped + d.dmetrics.Metrics.duplicated
+          + d.dmetrics.Metrics.delayed)
+        0 dctxs
+    in
+    (match trace with
+    | None -> ()
+    | Some t ->
+      Trace.bind t
+        ~clock:(fun () -> !cur_round)
+        ~counters:(fun () -> (sum_msgs (), sum_words ())));
+    (* per-round counter snapshots for the trace ring; hoisted so the
+       traced path allocates nothing per round either *)
+    let tr_m0 = ref 0 and tr_w0 = ref 0 and tr_f0 = ref 0 in
     let crash_sched =
       let l = ref [] in
       for v = n - 1 downto 0 do
@@ -329,8 +386,8 @@ module Make (M : MESSAGE) = struct
       a
     in
     let crash_idx = ref 0 in
-    let live = ref n in
     let finished st = st.cont = None && st.started in
+    let inbuf_records st = Slab.length st.inbuf / istride in
     (* flush each edge's still-open active-round load sample, then report *)
     let finish outcome =
       Array.iter
@@ -338,24 +395,32 @@ module Make (M : MESSAGE) = struct
           Array.iteri
             (fun p stamp ->
               if stamp >= 0 then begin
-                Histogram.add metrics.Metrics.edge_load st.sent_count.(p);
+                Histogram.add dctx0.dmetrics.Metrics.edge_load st.sent_count.(p);
                 st.sent_stamp.(p) <- -1
               end)
             st.sent_stamp)
         states;
+      let metrics =
+        if nd = 1 then dctx0.dmetrics
+        else
+          Array.fold_left
+            (fun acc d -> Metrics.merge acc d.dmetrics)
+            dctxs.(0).dmetrics
+            (Array.sub dctxs 1 (nd - 1))
+      in
       { outcome; metrics }
     in
     let crash_vertex st =
-      if st.cont <> None || not st.started then decr live;
+      let d = dctxs.(owner.(st.id)) in
+      if st.cont <> None || not st.started then d.dlive <- d.dlive - 1;
       st.crashed <- true;
       st.started <- true;
       st.cont <- None;
       st.timer_at <- -1;
       (* everything queued for the dead vertex is lost *)
-      metrics.Metrics.dropped <-
-        metrics.Metrics.dropped + st.inbuf.qlen + st.pendq.qlen;
-      st.inbuf.qlen <- 0;
-      st.pendq.qlen <- 0
+      d.dmetrics.Metrics.dropped <-
+        d.dmetrics.Metrics.dropped + inbuf_records st;
+      Slab.clear st.inbuf
     in
     let apply_crashes r =
       Array.iter
@@ -377,12 +442,15 @@ module Make (M : MESSAGE) = struct
         if not states.(v).crashed then crash_vertex states.(v)
       done
     in
-    let enqueue u q m =
-      let stu = states.(u) in
-      if stu.pendq.qlen = 0 then ivec_push touched u;
-      msgq_push stu.pendq q m
+    (* append one encoded record to the sending domain's outbox for u *)
+    let emit dc u q m =
+      let s = dc.out.(owner.(u)) in
+      let base = Slab.alloc s ostride in
+      Slab.set s base u;
+      Slab.set s (base + 1) q;
+      M.encode s (base + 2) m
     in
-    let do_send st p m =
+    let do_send dc st p m =
       let deg = Array.length st.sent_count in
       if p < 0 || p >= deg then
         invalid_arg
@@ -390,6 +458,7 @@ module Make (M : MESSAGE) = struct
       let words = M.words m in
       if words > word_limit then
         raise (Message_too_large { vertex = st.id; words; round = !cur_round });
+      let metrics = dc.dmetrics in
       if st.sent_stamp.(p) <> !cur_round then begin
         (* the edge's previous active round is over: sample its load *)
         if st.sent_stamp.(p) >= 0 then
@@ -402,7 +471,7 @@ module Make (M : MESSAGE) = struct
       st.sent_count.(p) <- st.sent_count.(p) + 1;
       if st.sent_count.(p) > metrics.Metrics.max_edge_load then
         metrics.Metrics.max_edge_load <- st.sent_count.(p);
-      if st.sent_count.(p) > !round_load then round_load := st.sent_count.(p);
+      if st.sent_count.(p) > dc.round_load then dc.round_load <- st.sent_count.(p);
       metrics.Metrics.messages <- metrics.Metrics.messages + 1;
       metrics.Metrics.message_words <- metrics.Metrics.message_words + words;
       Histogram.add metrics.Metrics.message_size words;
@@ -412,28 +481,45 @@ module Make (M : MESSAGE) = struct
          accounting: the sender is charged for the send whatever the network
          then does to it *)
       match faults with
-      | None -> enqueue u q m
+      | None -> emit dc u q m
       | Some _ when states.(u).crashed ->
         metrics.Metrics.dropped <- metrics.Metrics.dropped + 1
       | Some f -> (
-        match Fault.classify f ~round:!cur_round ~src:st.id ~dst:u with
-        | Fault.Deliver -> enqueue u q m
+        match
+          Fault.classify f ~round:!cur_round ~src:st.id ~dst:u
+            ~k:(st.sent_count.(p) - 1)
+        with
+        | Fault.Deliver -> emit dc u q m
         | Fault.Drop -> metrics.Metrics.dropped <- metrics.Metrics.dropped + 1
         | Fault.Duplicate ->
           metrics.Metrics.duplicated <- metrics.Metrics.duplicated + 1;
-          enqueue u q m;
-          enqueue u q m
+          emit dc u q m;
+          emit dc u q m
         | Fault.Delay d ->
           metrics.Metrics.delayed <- metrics.Metrics.delayed + 1;
-          delayed := (!cur_round + d, u, q, m) :: !delayed)
+          dc.delayed_local <- (!cur_round + d, u, q, m) :: dc.delayed_local)
     in
-    let handler (st : node_state) :
-        (unit, unit) Effect.Deep.handler =
+    (* splice the domains' fault-delayed verdicts into the global list.
+       Newest batches are prepended, matching the serial scheduler's
+       prepend-at-send order: two entries can only compete on identical
+       (landing, dest, port) keys, and a port has a single sender — always
+       in one domain — so the per-key relative order is exactly the
+       sender's program order, whatever the domain count. *)
+    let drain_delayed () =
+      for d = nd - 1 downto 0 do
+        let dc = dctxs.(d) in
+        if dc.delayed_local <> [] then begin
+          delayed := dc.delayed_local @ !delayed;
+          dc.delayed_local <- []
+        end
+      done
+    in
+    let handler dc (st : node_state) : (unit, unit) Effect.Deep.handler =
       {
         retc =
           (fun () ->
             st.cont <- None;
-            decr live);
+            dc.dlive <- dc.dlive - 1);
         exnc = (fun e -> raise e);
         effc =
           (fun (type a) (eff : a Effect.t) ->
@@ -446,7 +532,7 @@ module Make (M : MESSAGE) = struct
                   st.timer_at <- -1;
                   if evt then begin
                     st.queued_at <- !cur_round + 1;
-                    ivec_push ready_next st.id
+                    ivec_push dc.ready_next st.id
                   end)
             | Wait ->
               Some
@@ -454,9 +540,9 @@ module Make (M : MESSAGE) = struct
                   st.cont <- Some k;
                   st.wake <- On_message;
                   st.timer_at <- -1;
-                  if evt && st.inbuf.qlen > 0 then begin
+                  if evt && Slab.length st.inbuf > 0 then begin
                     st.queued_at <- !cur_round + 1;
-                    ivec_push ready_next st.id
+                    ivec_push dc.ready_next st.id
                   end)
             | Sleep_until r ->
               Some
@@ -466,7 +552,7 @@ module Make (M : MESSAGE) = struct
                   if evt then begin
                     let eff_r = max r (!cur_round + 1) in
                     st.timer_at <- eff_r;
-                    Pqueue.Int_heap.push timers ~key:eff_r st.id
+                    Pqueue.Int_heap.push dc.timers ~key:eff_r st.id
                   end)
             | Wait_until r ->
               Some
@@ -474,32 +560,35 @@ module Make (M : MESSAGE) = struct
                   st.cont <- Some k;
                   st.wake <- Msg_or_at r;
                   if evt then
-                    if st.inbuf.qlen > 0 then begin
+                    if Slab.length st.inbuf > 0 then begin
                       st.timer_at <- -1;
                       st.queued_at <- !cur_round + 1;
-                      ivec_push ready_next st.id
+                      ivec_push dc.ready_next st.id
                     end
                     else begin
                       let eff_r = max r (!cur_round + 1) in
                       st.timer_at <- eff_r;
-                      Pqueue.Int_heap.push timers ~key:eff_r st.id
+                      Pqueue.Int_heap.push dc.timers ~key:eff_r st.id
                     end)
             | _ -> None);
       }
     in
+    (* decode boundary: materialise the protocol-visible inbox *)
     let take_inbox st =
       let q = st.inbuf in
+      let nrec = Slab.length q / istride in
       let ib = ref [] in
-      for i = q.qlen - 1 downto 0 do
-        ib := (q.qport.(i), q.qmsg.(i)) :: !ib
+      for i = nrec - 1 downto 0 do
+        let base = i * istride in
+        ib := (Slab.get q base, M.decode q (base + 1)) :: !ib
       done;
-      q.qlen <- 0;
+      Slab.clear q;
       !ib
     in
-    let start st =
+    let start dc st =
       st.started <- true;
-      incr tr_wake;
-      metrics.Metrics.wakeups <- metrics.Metrics.wakeups + 1;
+      dc.wake_count <- dc.wake_count + 1;
+      dc.dmetrics.Metrics.wakeups <- dc.dmetrics.Metrics.wakeups + 1;
       let ctx =
         {
           me = st.id;
@@ -508,17 +597,17 @@ module Make (M : MESSAGE) = struct
           weights = Array.map snd (Graph.neighbors g st.id);
         }
       in
-      running_st := st;
-      Effect.Deep.match_with node ctx (handler st)
+      dc.drunning <- st;
+      Effect.Deep.match_with node ctx (handler dc st)
     in
-    let resume st =
+    let resume dc st =
       match st.cont with
       | None -> ()
       | Some k ->
         st.cont <- None;
-        incr tr_wake;
-        metrics.Metrics.wakeups <- metrics.Metrics.wakeups + 1;
-        running_st := st;
+        dc.wake_count <- dc.wake_count + 1;
+        dc.dmetrics.Metrics.wakeups <- dc.dmetrics.Metrics.wakeups + 1;
+        dc.drunning <- st;
         Effect.Deep.continue k (take_inbox st)
     in
     (* Wake a vertex blocked on messages ([wait]/[wait_until]) for round
@@ -533,62 +622,112 @@ module Make (M : MESSAGE) = struct
           end
         | Now | At _ -> ()
     in
-    (* Move one destination's pending batch into its inbox, in the order the
-       seed scheduler produced: ports ascending and, within one port, newest
-       send first (the seed stable-sorted a newest-first list by port). A
-       counting sort over the batch's distinct ports reproduces that order in
-       O(batch + distinct ports), allocation-free. *)
-    let deliver_one u =
-      let stu = states.(u) in
-      let pq = stu.pendq in
-      let b = pq.qlen in
-      if b > 0 then begin
-        if stu.crashed then begin
-          metrics.Metrics.dropped <- metrics.Metrics.dropped + b;
-          pq.qlen <- 0
-        end
-        else begin
-          let counts = stu.recv_scratch in
-          ivec_clear dports;
-          for i = 0 to b - 1 do
-            let p = pq.qport.(i) in
-            if counts.(p) = 0 then ivec_push dports p;
-            counts.(p) <- counts.(p) + 1
+    (* Drain the round's incoming records into the owned vertices' inbufs,
+       in the order the seed scheduler produced: per destination, ports
+       ascending and, within one port, newest send first. Pass A counts
+       records per destination (and drops those bound for crashed
+       vertices); pass B regroups them by destination into [scatter],
+       preserving arrival order; the per-destination counting sort then
+       reproduces the reference order in O(run + distinct ports),
+       allocation-free once the slabs have grown. A port has one sender,
+       so however domain outboxes interleave across sources, the per-port
+       subsequences — the only order the sort preserves — are exactly the
+       serial scheduler's. *)
+    let deliver dc =
+      let lo = dc.lo in
+      let counts = dc.dst_count in
+      ivec_clear dc.touched;
+      ivec_clear dc.runs;
+      let kept = ref 0 in
+      for e = 0 to nd - 1 do
+        let s = dctxs.(e).out.(dc.dom) in
+        let nrec = Slab.length s / ostride in
+        for i = 0 to nrec - 1 do
+          let u = Slab.get s (i * ostride) in
+          if states.(u).crashed then
+            dc.dmetrics.Metrics.dropped <- dc.dmetrics.Metrics.dropped + 1
+          else begin
+            if counts.(u - lo) = 0 then ivec_push dc.touched u;
+            counts.(u - lo) <- counts.(u - lo) + 1;
+            incr kept
+          end
+        done
+      done;
+      if !kept > 0 then begin
+        (* prefix-sum in touched order: counts.(u-lo) becomes u's cursor *)
+        Slab.clear dc.scatter;
+        ignore (Slab.alloc dc.scatter (!kept * istride));
+        let cursor = ref 0 in
+        for i = 0 to dc.touched.ivlen - 1 do
+          let u = dc.touched.iv.(i) in
+          let c = counts.(u - lo) in
+          ivec_push dc.runs !cursor;
+          counts.(u - lo) <- !cursor;
+          cursor := !cursor + c
+        done;
+        for e = 0 to nd - 1 do
+          let s = dctxs.(e).out.(dc.dom) in
+          let nrec = Slab.length s / ostride in
+          for i = 0 to nrec - 1 do
+            let u = Slab.get s (i * ostride) in
+            if not states.(u).crashed then begin
+              let slot = counts.(u - lo) in
+              counts.(u - lo) <- slot + 1;
+              Slab.set dc.scatter (slot * istride) (Slab.get s ((i * ostride) + 1));
+              Slab.blit ~src:s
+                ~src_pos:((i * ostride) + 2)
+                ~dst:dc.scatter
+                ~dst_pos:((slot * istride) + 1)
+                ~len:islots
+            end
+          done
+        done;
+        (* per destination: counting sort of its run by port *)
+        for t = 0 to dc.touched.ivlen - 1 do
+          let u = dc.touched.iv.(t) in
+          let stu = states.(u) in
+          let b = dc.runs.iv.(t) in
+          let e = counts.(u - lo) in
+          let len = e - b in
+          let pc = stu.recv_scratch in
+          ivec_clear dc.dports;
+          for i = b to e - 1 do
+            let p = Slab.get dc.scatter (i * istride) in
+            if pc.(p) = 0 then ivec_push dc.dports p;
+            pc.(p) <- pc.(p) + 1
           done;
-          let dp = dports.iv and dn = dports.ivlen in
+          let dp = dc.dports.iv and dn = dc.dports.ivlen in
           sort_range dp 0 (dn - 1);
-          (* prefix-sum the touched ports: counts.(p) becomes p's cursor *)
-          let base = stu.inbuf.qlen in
-          let cursor = ref base in
+          let base_rec = Slab.length stu.inbuf / istride in
+          let cursor = ref base_rec in
           for i = 0 to dn - 1 do
             let p = dp.(i) in
-            let c = counts.(p) in
-            counts.(p) <- !cursor;
+            let c = pc.(p) in
+            pc.(p) <- !cursor;
             cursor := !cursor + c
           done;
-          msgq_reserve stu.inbuf (base + b) pq.qmsg.(0);
-          let ib = stu.inbuf in
-          for i = b - 1 downto 0 do
-            let p = pq.qport.(i) in
-            let slot = counts.(p) in
-            counts.(p) <- slot + 1;
-            ib.qport.(slot) <- p;
-            ib.qmsg.(slot) <- pq.qmsg.(i)
+          ignore (Slab.alloc stu.inbuf (len * istride));
+          for i = e - 1 downto b do
+            let p = Slab.get dc.scatter (i * istride) in
+            let slot = pc.(p) in
+            pc.(p) <- slot + 1;
+            Slab.set stu.inbuf (slot * istride) p;
+            Slab.blit ~src:dc.scatter
+              ~src_pos:((i * istride) + 1)
+              ~dst:stu.inbuf
+              ~dst_pos:((slot * istride) + 1)
+              ~len:islots
           done;
-          ib.qlen <- base + b;
           for i = 0 to dn - 1 do
-            counts.(dp.(i)) <- 0
+            pc.(dp.(i)) <- 0
           done;
-          pq.qlen <- 0;
-          if evt then push_msg_wakeup ready_next (!cur_round + 1) stu
-        end
-      end
-    in
-    let deliver () =
-      for i = 0 to touched.ivlen - 1 do
-        deliver_one touched.iv.(i)
-      done;
-      ivec_clear touched
+          counts.(u - lo) <- 0;
+          if evt then push_msg_wakeup dc.ready_next (!cur_round + 1) stu
+        done
+      end;
+      for e = 0 to nd - 1 do
+        Slab.clear dctxs.(e).out.(dc.dom)
+      done
     in
     (* move fault-delayed messages that landed in an already-executed round
        into their destination's buffer (readable from round [r] on) *)
@@ -610,27 +749,42 @@ module Make (M : MESSAGE) = struct
           List.iter
             (fun (_, u, q, m) ->
               let stu = states.(u) in
+              let du = dctxs.(owner.(u)) in
               if stu.crashed then
-                metrics.Metrics.dropped <- metrics.Metrics.dropped + 1
+                du.dmetrics.Metrics.dropped <- du.dmetrics.Metrics.dropped + 1
               else begin
-                msgq_push stu.inbuf q m;
-                if evt then push_msg_wakeup ready r stu
+                let base = Slab.alloc stu.inbuf istride in
+                Slab.set stu.inbuf base q;
+                M.encode stu.inbuf (base + 1) m;
+                if evt then push_msg_wakeup du.ready r stu
               end)
             batch
         end
       end
     in
+    let snapshot_trace () =
+      tr_m0 := sum_msgs ();
+      tr_w0 := sum_words ();
+      tr_f0 := sum_faults ();
+      Array.iter
+        (fun d ->
+          d.wake_count <- 0;
+          d.round_load <- 0)
+        dctxs
+    in
     let record_trace r =
       match trace with
       | None -> ()
       | Some t ->
+        let wakeups =
+          Array.fold_left (fun a d -> a + d.wake_count) 0 dctxs
+        in
+        let load = Array.fold_left (fun a d -> max a d.round_load) 0 dctxs in
         Trace.record_round t ~round:r
-          ~messages:(metrics.Metrics.messages - !tr_m0)
-          ~words:(metrics.Metrics.message_words - !tr_w0)
-          ~wakeups:!tr_wake ~max_edge_load:!round_load
-          ~faults:
-            (metrics.Metrics.dropped + metrics.Metrics.duplicated
-            + metrics.Metrics.delayed - !tr_f0)
+          ~messages:(sum_msgs () - !tr_m0)
+          ~words:(sum_words () - !tr_w0)
+          ~wakeups ~max_edge_load:load
+          ~faults:(sum_faults () - !tr_f0)
     in
     (* one bounded pass over the states: total stuck count plus the first
        ten, in id order — no full intermediate list *)
@@ -650,9 +804,9 @@ module Make (M : MESSAGE) = struct
       &&
       match st.wake with
       | Now -> true
-      | On_message -> st.inbuf.qlen > 0
+      | On_message -> Slab.length st.inbuf > 0
       | At r' -> r' <= r
-      | Msg_or_at r' -> st.inbuf.qlen > 0 || r' <= r
+      | Msg_or_at r' -> Slab.length st.inbuf > 0 || r' <= r
     in
     (* --- reference scheduler: the seed's per-round O(n) scan loop --- *)
     let rec scan_loop () =
@@ -687,7 +841,7 @@ module Make (M : MESSAGE) = struct
             if not (finished states.(u)) then min_at := min !min_at (land_ + 1))
           !delayed;
         if !all_done then begin
-          metrics.Metrics.rounds <- !cur_round;
+          dctx0.dmetrics.Metrics.rounds <- !cur_round;
           finish Completed
         end
         else if not !any_runnable then begin
@@ -696,50 +850,49 @@ module Make (M : MESSAGE) = struct
             scan_loop ()
           end
           else begin
-            metrics.Metrics.rounds <- !cur_round;
+            dctx0.dmetrics.Metrics.rounds <- !cur_round;
             finish (Deadlocked (deadlock_report ()))
           end
         end
         else begin
           cur_round := r;
-          metrics.Metrics.rounds <- r;
-          tr_m0 := metrics.Metrics.messages;
-          tr_w0 := metrics.Metrics.message_words;
-          tr_f0 :=
-            metrics.Metrics.dropped + metrics.Metrics.duplicated
-            + metrics.Metrics.delayed;
-          tr_wake := 0;
-          round_load := 0;
-          Array.iter (fun st -> if runnable st r then resume st) states;
-          deliver ();
+          dctx0.dmetrics.Metrics.rounds <- r;
+          snapshot_trace ();
+          Array.iter (fun st -> if runnable st r then resume dctx0 st) states;
+          drain_delayed ();
+          deliver dctx0;
           record_trace r;
           scan_loop ()
         end
       end
     in
-    (* --- event-driven scheduler --- *)
+    (* --- event-driven scheduler, one shard per domain --- *)
     (* Next round at which anything can happen: a worklist entry (always
        cur+1), the earliest valid timer (stale heap tops — cancelled,
        crashed or superseded — are discarded on sight), the earliest crash
        of a still-unfinished vertex, or the wake-up round of an in-flight
        delayed message. max_int = nothing, ever: deadlock. *)
-    let rec timer_candidate () =
-      let k = Pqueue.Int_heap.min_key timers in
+    let rec timer_candidate dc =
+      let k = Pqueue.Int_heap.min_key dc.timers in
       if k = max_int then max_int
       else begin
-        let v = Pqueue.Int_heap.min_payload timers in
+        let v = Pqueue.Int_heap.min_payload dc.timers in
         let st = states.(v) in
         if st.cont <> None && not st.crashed && st.timer_at = k then k
         else begin
-          Pqueue.Int_heap.drop_min timers;
-          timer_candidate ()
+          Pqueue.Int_heap.drop_min dc.timers;
+          timer_candidate dc
         end
       end
     in
     let next_candidate () =
-      let c = ref (if ready_next.ivlen > 0 then !cur_round + 1 else max_int) in
-      let tk = timer_candidate () in
-      if tk < !c then c := tk;
+      let c = ref max_int in
+      Array.iter
+        (fun d ->
+          if d.ready_next.ivlen > 0 then c := min !c (!cur_round + 1);
+          let tk = timer_candidate d in
+          if tk < !c then c := tk)
+        dctxs;
       (* crash rounds drive the clock only for vertices still running: a
          finished vertex's crash has its (bookkeeping-only) effect applied
          lazily at whatever round is attempted next *)
@@ -761,28 +914,145 @@ module Make (M : MESSAGE) = struct
     in
     (* Collect the vertices allowed to run in round [r]: the carried-over
        worklist (sync returns, message wakeups) plus every due timer. The
-       result is exactly the scan scheduler's runnable set for [r]. *)
-    let gather r =
-      for i = 0 to ready_next.ivlen - 1 do
-        let v = ready_next.iv.(i) in
+       result is exactly the scan scheduler's runnable set for [r],
+       restricted to the shard. *)
+    let gather dc r =
+      for i = 0 to dc.ready_next.ivlen - 1 do
+        let v = dc.ready_next.iv.(i) in
         let st = states.(v) in
-        if st.cont <> None && not st.crashed then ivec_push ready v
+        if st.cont <> None && not st.crashed then ivec_push dc.ready v
       done;
-      ivec_clear ready_next;
-      while Pqueue.Int_heap.min_key timers <= r do
-        let k = Pqueue.Int_heap.min_key timers in
-        let v = Pqueue.Int_heap.min_payload timers in
-        Pqueue.Int_heap.drop_min timers;
+      ivec_clear dc.ready_next;
+      while Pqueue.Int_heap.min_key dc.timers <= r do
+        let k = Pqueue.Int_heap.min_key dc.timers in
+        let v = Pqueue.Int_heap.min_payload dc.timers in
+        Pqueue.Int_heap.drop_min dc.timers;
         let st = states.(v) in
         if
           st.cont <> None && (not st.crashed) && st.timer_at = k
           && st.queued_at < r
         then begin
           st.queued_at <- r;
-          ivec_push ready v
+          ivec_push dc.ready v
         end
       done
     in
+    let do_phase dc = function
+      | C_start ->
+        for v = dc.lo to dc.hi - 1 do
+          let st = states.(v) in
+          if not st.crashed then start dc st
+        done
+      | C_gather -> gather dc (!cur_round + 1)
+      | C_exec ->
+        (* the scan scheduler resumes in id order; so does each shard *)
+        sort_range dc.ready.iv 0 (dc.ready.ivlen - 1);
+        for i = 0 to dc.ready.ivlen - 1 do
+          let st = states.(dc.ready.iv.(i)) in
+          if st.cont <> None && not st.crashed then resume dc st
+        done
+      | C_deliver -> deliver dc
+      | C_quit -> ()
+    in
+    (* Coordinator/worker plumbing. For nd = 1 a phase is a plain call — no
+       worker domains, no barrier, exceptions propagate synchronously. For
+       nd > 1 the coordinator publishes the command, runs shard 0 itself,
+       waits out the barrier and re-raises the lowest-domain exception (so
+       a Congestion in any shard still surfaces; which shard's error wins
+       is the one observable difference from the serial schedule). *)
+    let par =
+      {
+        pm = Mutex.create ();
+        cv_cmd = Condition.create ();
+        cv_done = Condition.create ();
+        seq = 0;
+        cmd = C_quit;
+        pending = 0;
+      }
+    in
+    let worker dc () =
+      Domain.DLS.set dls_ops
+        {
+          op_send = (fun p m -> do_send dc dc.drunning p m);
+          op_round = (fun () -> !cur_round);
+          op_set_memory =
+            (fun w ->
+              let st = dc.drunning in
+              st.mem_words <- w;
+              Metrics.note_memory dc.dmetrics st.id w);
+          op_add_memory =
+            (fun d ->
+              let st = dc.drunning in
+              st.mem_words <- max 0 (st.mem_words + d);
+              Metrics.note_memory dc.dmetrics st.id st.mem_words);
+          op_note_retransmit =
+            (fun () ->
+              dc.dmetrics.Metrics.retransmitted <-
+                dc.dmetrics.Metrics.retransmitted + 1);
+        };
+      let myseq = ref 0 in
+      let running = ref true in
+      while !running do
+        Mutex.lock par.pm;
+        while par.seq = !myseq do
+          Condition.wait par.cv_cmd par.pm
+        done;
+        myseq := par.seq;
+        let cmd = par.cmd in
+        Mutex.unlock par.pm;
+        (match cmd with
+        | C_quit -> running := false
+        | c -> ( try do_phase dc c with e -> dc.dexn <- Some e));
+        Mutex.lock par.pm;
+        par.pending <- par.pending - 1;
+        if par.pending = 0 then Condition.signal par.cv_done;
+        Mutex.unlock par.pm
+      done
+    in
+    let workers = ref [] in
+    let workers_alive = ref false in
+    let broadcast c =
+      Mutex.lock par.pm;
+      par.cmd <- c;
+      par.pending <- nd - 1;
+      par.seq <- par.seq + 1;
+      Condition.broadcast par.cv_cmd;
+      Mutex.unlock par.pm
+    in
+    let await () =
+      Mutex.lock par.pm;
+      while par.pending > 0 do
+        Condition.wait par.cv_done par.pm
+      done;
+      Mutex.unlock par.pm
+    in
+    let run_phase c =
+      if nd = 1 then do_phase dctx0 c
+      else begin
+        broadcast c;
+        (try do_phase dctx0 c with e -> dctx0.dexn <- Some e);
+        await ();
+        Array.iter
+          (fun d ->
+            match d.dexn with
+            | Some e ->
+              d.dexn <- None;
+              raise e
+            | None -> ())
+          dctxs
+      end
+    in
+    let quit_workers () =
+      if !workers_alive then begin
+        workers_alive := false;
+        broadcast C_quit;
+        await ();
+        List.iter Domain.join !workers;
+        workers := []
+      end
+    in
+    let total_live () = Array.fold_left (fun a d -> a + d.dlive) 0 dctxs in
+    let total_ready () = Array.fold_left (fun a d -> a + d.ready.ivlen) 0 dctxs in
     (* The side effects the scan scheduler performs while probing its final,
        never-executed round: lazily pending crashes of finished vertices
        (dropping their buffered messages) and due delayed messages. Both
@@ -793,16 +1063,16 @@ module Make (M : MESSAGE) = struct
     in
     let rec event_loop () =
       if !cur_round + 1 > max_rounds then finish Round_limit
-      else if !live = 0 then begin
+      else if total_live () = 0 then begin
         phantom_attempt (!cur_round + 1);
-        metrics.Metrics.rounds <- !cur_round;
+        dctx0.dmetrics.Metrics.rounds <- !cur_round;
         finish Completed
       end
       else begin
         let r = next_candidate () in
         if r = max_int then begin
           phantom_attempt (!cur_round + 1);
-          metrics.Metrics.rounds <- !cur_round;
+          dctx0.dmetrics.Metrics.rounds <- !cur_round;
           finish (Deadlocked (deadlock_report ()))
         end
         else if r > max_rounds then begin
@@ -813,60 +1083,67 @@ module Make (M : MESSAGE) = struct
         end
         else begin
           cur_round := r - 1;
-          ivec_clear ready;
+          Array.iter (fun d -> ivec_clear d.ready) dctxs;
           apply_crashes_upto r;
           flush_delayed r;
-          gather r;
-          if ready.ivlen = 0 then event_loop ()
+          run_phase C_gather;
+          if total_ready () = 0 then event_loop ()
           else begin
             cur_round := r;
-            metrics.Metrics.rounds <- r;
-            tr_m0 := metrics.Metrics.messages;
-            tr_w0 := metrics.Metrics.message_words;
-            tr_f0 :=
-              metrics.Metrics.dropped + metrics.Metrics.duplicated
-              + metrics.Metrics.delayed;
-            tr_wake := 0;
-            round_load := 0;
-            (* the scan scheduler resumes in id order; so do we *)
-            sort_range ready.iv 0 (ready.ivlen - 1);
-            for i = 0 to ready.ivlen - 1 do
-              let st = states.(ready.iv.(i)) in
-              if st.cont <> None && not st.crashed then resume st
-            done;
-            deliver ();
+            dctx0.dmetrics.Metrics.rounds <- r;
+            snapshot_trace ();
+            run_phase C_exec;
+            drain_delayed ();
+            run_phase C_deliver;
             record_trace r;
             event_loop ()
           end
         end
       end
     in
-    let saved_ops = !cur_ops in
-    cur_ops :=
+    let saved_ops = Domain.DLS.get dls_ops in
+    Domain.DLS.set dls_ops
       {
-        op_send = (fun p m -> do_send !running_st p m);
+        op_send = (fun p m -> do_send dctx0 dctx0.drunning p m);
         op_round = (fun () -> !cur_round);
         op_set_memory =
           (fun w ->
-            let st = !running_st in
+            let st = dctx0.drunning in
             st.mem_words <- w;
-            Metrics.note_memory metrics st.id w);
+            Metrics.note_memory dctx0.dmetrics st.id w);
         op_add_memory =
           (fun d ->
-            let st = !running_st in
+            let st = dctx0.drunning in
             st.mem_words <- max 0 (st.mem_words + d);
-            Metrics.note_memory metrics st.id st.mem_words);
+            Metrics.note_memory dctx0.dmetrics st.id st.mem_words);
         op_note_retransmit =
           (fun () ->
-            metrics.Metrics.retransmitted <- metrics.Metrics.retransmitted + 1);
+            dctx0.dmetrics.Metrics.retransmitted <-
+              dctx0.dmetrics.Metrics.retransmitted + 1);
       };
     Fun.protect
-      ~finally:(fun () -> cur_ops := saved_ops)
+      ~finally:(fun () ->
+        quit_workers ();
+        Domain.DLS.set dls_ops saved_ops)
       (fun () ->
+        if nd > 1 then begin
+          workers_alive := true;
+          workers :=
+            List.init (nd - 1) (fun i -> Domain.spawn (worker dctxs.(i + 1)))
+        end;
         (* Round 0: start every program (crash-at-0 vertices never run). *)
         if evt then apply_crashes_upto 0 else apply_crashes 0;
-        Array.iter (fun st -> if not st.crashed then start st) states;
-        deliver ();
+        snapshot_trace ();
+        if nd = 1 then begin
+          Array.iter (fun st -> if not st.crashed then start dctx0 st) states;
+          drain_delayed ();
+          deliver dctx0
+        end
+        else begin
+          run_phase C_start;
+          drain_delayed ();
+          run_phase C_deliver
+        end;
         record_trace 0;
         if evt then event_loop () else scan_loop ())
 end

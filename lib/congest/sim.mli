@@ -18,6 +18,23 @@
     vertices sleep until a message arrives), so protocols with long quiet
     phases simulate in time proportional to events, not rounds × n.
 
+    In-flight messages are not boxed values: a send encodes its payload as
+    [M.slots] unboxed ints into a {!Slab} record, delivery moves flat
+    records between slabs, and the payload is only decoded back to an [M.t]
+    when the receiving program reads its inbox. The hot path therefore
+    allocates nothing on the OCaml heap per message, and — slabs being
+    Bigarrays — records cross domain boundaries without touching the GC.
+
+    The event engine can be sharded across OCaml domains ([?domains]):
+    vertices are partitioned into contiguous blocks, each domain runs its
+    block's fibers and accumulates its own {!Metrics}, and a per-round
+    barrier separates the gather / execute / deliver phases. Results are
+    bit-identical to a single-domain run (see the domain-determinism tests):
+    each inbound port has exactly one sender, hence one sending domain, so
+    the per-port message order the delivery sort relies on survives any
+    cross-domain interleaving, and fault verdicts are pure per-message
+    hashes ({!Fault.classify}).
+
     Runs may execute under a {!Fault} plan ([?faults]): messages are then
     dropped, duplicated or delayed and vertices crash-stop according to the
     plan, *after* all capacity/word accounting, with every injected event
@@ -29,6 +46,22 @@ module type MESSAGE = sig
 
   val words : t -> int
   (** Size of the message in words; must be ≤ the run's [word_limit]. *)
+
+  val slots : int
+  (** Physical payload width: how many slab ints {!encode} writes. A
+      constant — variable-size messages use the width of the largest
+      variant. Distinct from {!words}, which is the *accounted* CONGEST
+      size of the value actually sent. *)
+
+  val encode : Slab.t -> int -> t -> unit
+  (** [encode s base m] writes [m]'s payload into [s] at slots
+      [base .. base+slots-1] (the slots are pre-allocated). Floats travel
+      via {!Slab.set_float} (two slots). *)
+
+  val decode : Slab.t -> int -> t
+  (** [decode s base] reads back what {!encode} wrote; must satisfy
+      [decode s base (encode s base m) = m]. The only place on the receive
+      path where a message value is materialised. *)
 end
 
 exception Congestion of { vertex : int; port : int; round : int }
@@ -64,13 +97,14 @@ type scheduler =
   | Event_driven
       (** Default. A ready worklist plus an int-keyed timer heap: each round
           costs O(wakeups + deliveries), and quiet stretches are skipped by
-          jumping to the heap minimum. *)
+          jumping to the heap minimum. The only engine that shards across
+          domains. *)
   | Scan_reference
       (** The original scheduler: two O(n) passes over the state array per
           round. Kept as the semantic reference — both schedulers produce
           bit-identical {!Metrics} and outcomes on the same run (see the
           equivalence property test) — and as the baseline the perf harness
-          measures speedups against. *)
+          measures speedups against. Always serial; [?domains] is ignored. *)
 
 val pp_wake : Format.formatter -> wake -> unit
 
@@ -170,17 +204,28 @@ module Make (M : MESSAGE) : sig
     ?faults:Fault.t ->
     ?trace:Trace.t ->
     ?scheduler:scheduler ->
+    ?domains:int ->
     Dgraph.Graph.t ->
     node:(ctx -> unit) ->
     report
   (** Execute the protocol on every vertex of the graph. Deterministic:
       vertices are scheduled in id order and inboxes are sorted; under a
-      [?faults] plan the injected faults are a deterministic function of the
-      plan's spec (pass a freshly {!Fault.make}d plan — plans are stateful).
+      [?faults] plan the injected faults are a pure function of the plan's
+      spec and each message's coordinates, independent of scheduling.
 
       [?scheduler] selects the round engine (default {!Event_driven});
       outcomes and metrics do not depend on the choice, only wall-clock
       does.
+
+      [?domains] (default 1) shards the event engine across that many OCaml
+      domains (clamped to the vertex count; {!Scan_reference} ignores it).
+      Outcomes, metrics and routing results are bit-identical to a
+      single-domain run. Two caveats: when several shards raise in the same
+      phase (e.g. simultaneous {!Congestion}), the lowest-numbered shard's
+      exception wins, which may differ from the serial schedule's first
+      raise; and live trace-counter reads from protocol spans may observe
+      other shards' counters mid-round (round samples and phase totals are
+      recorded at the barrier and remain exact).
 
       With [?trace] the run feeds the sink one {!Trace.round_sample} per
       executed round and binds the trace clock to the real round counter, so

@@ -55,6 +55,13 @@ type t = {
   mutable rev_spans : span list;  (* all spans, newest first *)
   mutable stack : span list;  (* open non-phase spans, innermost first *)
   mutable cur_phase : span option;
+  (* Serializes every mutating entry point. Under the domain-sharded
+     scheduler, protocol code on any domain may emit spans and events (the
+     reliable transport's per-link backoff spans are the canonical case)
+     while the coordinator records round samples; the lock keeps the
+     structure consistent. All these paths are cold — a handful of
+     operations per round at most — so the uncontended lock is noise. *)
+  lock : Mutex.t;
 }
 
 let make ?(ring = 4096) ?(events = 1024) () =
@@ -78,7 +85,12 @@ let make ?(ring = 4096) ?(events = 1024) () =
     rev_spans = [];
     stack = [];
     cur_phase = None;
+    lock = Mutex.create ();
   }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let bind t ~clock ~counters =
   t.clock <- clock;
@@ -122,29 +134,34 @@ let open_span t ~phase ~detail name =
   s
 
 let begin_span t ?(detail = "") name =
-  let s = open_span t ~phase:false ~detail name in
-  t.stack <- s :: t.stack
+  locked t (fun () ->
+      let s = open_span t ~phase:false ~detail name in
+      t.stack <- s :: t.stack)
 
 let end_span t =
-  match t.stack with
-  | [] -> ()
-  | s :: rest ->
-    close_span t s;
-    t.stack <- rest
+  locked t (fun () ->
+      match t.stack with
+      | [] -> ()
+      | s :: rest ->
+        close_span t s;
+        t.stack <- rest)
 
 let span t ?detail name f =
   begin_span t ?detail name;
   Fun.protect ~finally:(fun () -> end_span t) f
 
-let phase_end t =
+let phase_end_unlocked t =
   List.iter (close_span t) t.stack;
   t.stack <- [];
   (match t.cur_phase with Some p -> close_span t p | None -> ());
   t.cur_phase <- None
 
+let phase_end t = locked t (fun () -> phase_end_unlocked t)
+
 let phase t ?(detail = "") name =
-  phase_end t;
-  t.cur_phase <- Some (open_span t ~phase:true ~detail name)
+  locked t (fun () ->
+      phase_end_unlocked t;
+      t.cur_phase <- Some (open_span t ~phase:true ~detail name))
 
 let add_closed_span t ?(detail = "") ?(phase = false) ?(depth = 0)
     ?(messages = 0) ?(words = 0) ?(peak_memory = 0) ~name ~start_round
@@ -164,7 +181,7 @@ let add_closed_span t ?(detail = "") ?(phase = false) ?(depth = 0)
       sp_w0 = 0;
     }
   in
-  t.rev_spans <- s :: t.rev_spans
+  locked t (fun () -> t.rev_spans <- s :: t.rev_spans)
 
 let spans t = List.rev t.rev_spans
 let phases t = List.filter (fun s -> s.sp_phase) (spans t)
@@ -204,6 +221,8 @@ let phase_breakdown t ~total_rounds =
 (* {1 Per-round ring} *)
 
 let record_round t ~round ~messages ~words ~wakeups ~max_edge_load ~faults =
+  (* single writer (the run's coordinator); no lock so the traced hot path
+     stays allocation- and contention-free *)
   let slot = t.ring.(t.seen_rounds mod Array.length t.ring) in
   slot.r_round <- round;
   slot.r_messages <- messages;
@@ -233,10 +252,11 @@ let rounds t =
 (* {1 Events} *)
 
 let event t label =
-  let slot = t.ev_ring.(t.seen_events mod Array.length t.ev_ring) in
-  slot.ev_round <- now t;
-  slot.ev_label <- label;
-  t.seen_events <- t.seen_events + 1
+  locked t (fun () ->
+      let slot = t.ev_ring.(t.seen_events mod Array.length t.ev_ring) in
+      slot.ev_round <- now t;
+      slot.ev_label <- label;
+      t.seen_events <- t.seen_events + 1)
 
 let events_recorded t = t.seen_events
 

@@ -32,6 +32,44 @@ module M = struct
     | Bfs_adopt | Bfs_echo | Advance | Next -> 1
     | Level _ | Bfs _ | Done _ -> 2
     | Offer _ -> 3
+
+  (* Slab codec: [tag; fields...]. Offer's distance is a float and rides in
+     two slots ({!Congest.Slab.set_float}), so the widest record is
+     tag + src + distance. *)
+  module Sl = Congest.Slab
+
+  let slots = 4
+
+  let encode sl b = function
+    | Level { lvl } ->
+      Sl.set sl b 0;
+      Sl.set sl (b + 1) lvl
+    | Bfs { depth } ->
+      Sl.set sl b 1;
+      Sl.set sl (b + 1) depth
+    | Bfs_adopt -> Sl.set sl b 2
+    | Bfs_echo -> Sl.set sl b 3
+    | Offer { src; dist } ->
+      Sl.set sl b 4;
+      Sl.set sl (b + 1) src;
+      Sl.set_float sl (b + 2) dist
+    | Done { sent } ->
+      Sl.set sl b 5;
+      Sl.set sl (b + 1) sent
+    | Advance -> Sl.set sl b 6
+    | Next -> Sl.set sl b 7
+
+  let decode sl b =
+    match Sl.get sl b with
+    | 0 -> Level { lvl = Sl.get sl (b + 1) }
+    | 1 -> Bfs { depth = Sl.get sl (b + 1) }
+    | 2 -> Bfs_adopt
+    | 3 -> Bfs_echo
+    | 4 -> Offer { src = Sl.get sl (b + 1); dist = Sl.get_float sl (b + 2) }
+    | 5 -> Done { sent = Sl.get sl (b + 1) }
+    | 6 -> Advance
+    | 7 -> Next
+    | t -> invalid_arg (Printf.sprintf "Dist_scheme: corrupt tag %d" t)
 end
 
 module S = Congest.Sim.Make (M)
@@ -76,7 +114,8 @@ type entry = { mutable d : float; mutable port : int; mutable dirty : bool }
 
 type action = A_bfs_echo_check | A_decide | A_complete | A_watchdog
 
-let run ~rng ~k ?b ?faults ?reliable ?config ?trace ?max_rounds ?scheduler g =
+let run ~rng ~k ?b ?faults ?reliable ?config ?trace ?max_rounds ?scheduler
+    ?domains g =
   if k < 2 then invalid_arg "Dist_scheme.run: k >= 2 required";
   let use_reliable =
     match reliable with Some b -> b | None -> Option.is_some faults
@@ -131,13 +170,22 @@ let run ~rng ~k ?b ?faults ?reliable ?config ?trace ?max_rounds ?scheduler g =
     Array.init (ih + 1) (fun i ->
         if i = 0 then Array.init n (fun v -> v) else Array.make n (-1))
   in
-  let cluster_acc : (int * float * int) list ref array =
-    Array.init n (fun _ -> ref [])
-  in
+  (* Cluster membership is deposited by the *member* vertex (about some
+     owner w), so the accumulator is indexed by the writing vertex — each
+     cell has a single writer, race-free under the domain-sharded scheduler
+     — and regrouped by owner after the run. Entries: (owner, d, via). *)
+  let cluster_local : (int * float * int) list array = Array.make n [] in
   let virtual_acc : (int * float) list array = Array.make n [] in
   let phase_marks = ref [] in
-  (* measured per-vertex protocol words, max per phase (index = phase + 1) *)
-  let phase_peak = Array.make (n_phases + 1) 0 in
+  (* measured per-vertex protocol words, max per phase (index = phase + 1);
+     atomic because every vertex maxes into the shared cells and, under the
+     domain-sharded scheduler, from different domains — CAS-max keeps the
+     result exact (max is commutative) without per-vertex storage *)
+  let phase_peak = Array.init (n_phases + 1) (fun _ -> Atomic.make 0) in
+  let rec peak_max cell v =
+    let cur = Atomic.get cell in
+    if v > cur && not (Atomic.compare_and_set cell cur v) then peak_max cell v
+  in
   (* Under Reliable a masked delivery may back off for a whole
      retransmission streak before the link is declared dead, so the stall
      interval must dominate that streak: shorter and a healthy faulted run
@@ -154,9 +202,19 @@ let run ~rng ~k ?b ?faults ?reliable ?config ?trace ?max_rounds ?scheduler g =
       max base (Congest.Reliable.retransmission_budget cfg + 64)
     else base
   in
-  let failures : failure list ref = ref [] in
-  let fail_t f = failures := f :: !failures in
-  let fail v s = fail_t (Harvest { vertex = v; reason = s }) in
+  (* Per-vertex failure slots (single writer each) for reports originating
+     inside vertex programs; [post] collects the coordinator's own post-run
+     findings (transport outcome, harvest rejections). *)
+  let fail_slots : failure list array = Array.make n [] in
+  let fail_at v f = fail_slots.(v) <- f :: fail_slots.(v) in
+  let post : failure list ref = ref [] in
+  let fail v s = post := Harvest { vertex = v; reason = s } :: !post in
+  let gathered_failures () =
+    let per_vertex =
+      Array.fold_right (fun fs acc -> List.rev_append fs acc) fail_slots []
+    in
+    List.rev !post @ per_vertex
+  in
 
   let node ((module T) : transport) ~me ~(neighbors : int array)
       ~(weights : float array) =
@@ -238,7 +296,7 @@ let run ~rng ~k ?b ?faults ?reliable ?config ?trace ?max_rounds ?scheduler g =
       in
       T.set_memory words;
       let idx = min n_phases (!phase + 1) in
-      if words > phase_peak.(idx) then phase_peak.(idx) <- words
+      peak_max phase_peak.(idx) words
     in
     let enqueue ~except (src, d) =
       for p = 0 to deg - 1 do
@@ -294,9 +352,9 @@ let run ~rng ~k ?b ?faults ?reliable ?config ?trace ?max_rounds ?scheduler g =
         Hashtbl.iter
           (fun w e ->
             if e.d < my_level_dist.(i + 1) then
-              cluster_acc.(w) :=
-                (me, e.d, if e.port < 0 then -1 else neighbors.(e.port))
-                :: !(cluster_acc.(w)))
+              cluster_local.(me) <-
+                (w, e.d, if e.port < 0 then -1 else neighbors.(e.port))
+                :: cluster_local.(me))
           table;
         Hashtbl.reset table
       | `Virtual ->
@@ -450,9 +508,9 @@ let run ~rng ~k ?b ?faults ?reliable ?config ?trace ?max_rounds ?scheduler g =
         if not !finished then begin
           if T.round () - !last_progress >= watchdog_interval then begin
             (if !phase < 0 then
-               fail_t (Setup_timeout { vertex = me; round = T.round () })
+               fail_at me (Setup_timeout { vertex = me; round = T.round () })
              else
-               fail_t
+               fail_at me
                  (Stalled
                     {
                       vertex = me;
@@ -487,7 +545,8 @@ let run ~rng ~k ?b ?faults ?reliable ?config ?trace ?max_rounds ?scheduler g =
         (fun (p, why) ->
           if not (List.mem p !dead_seen) then begin
             dead_seen := p :: !dead_seen;
-            fail_t (Link_lost { vertex = me; neighbor = neighbors.(p); reason = why });
+            fail_at me
+              (Link_lost { vertex = me; neighbor = neighbors.(p); reason = why });
             (* every edge carries wave data: any dead link breaks the stage *)
             finished := true
           end)
@@ -548,12 +607,13 @@ let run ~rng ~k ?b ?faults ?reliable ?config ?trace ?max_rounds ?scheduler g =
   in
   let report =
     if use_reliable then
-      R.run ~edge_capacity:2 ?faults ?trace ?max_rounds ?scheduler ?config g
+      R.run ~edge_capacity:2 ?faults ?trace ?max_rounds ?scheduler ?domains
+        ?config g
         ~node:(fun t rctx ->
           node t ~me:rctx.R.me ~neighbors:rctx.R.neighbors
             ~weights:rctx.R.weights)
     else
-      S.run ~edge_capacity:2 ?faults ?trace ?max_rounds ?scheduler g
+      S.run ~edge_capacity:2 ?faults ?trace ?max_rounds ?scheduler ?domains g
         ~node:(fun (sctx : S.ctx) ->
           node
             (module S.Transport : Congest.Sim.TRANSPORT with type msg = msg)
@@ -562,18 +622,26 @@ let run ~rng ~k ?b ?faults ?reliable ?config ?trace ?max_rounds ?scheduler g =
   (match report.Congest.Sim.outcome with
   | Congest.Sim.Completed -> ()
   | Congest.Sim.Deadlocked _ as oc ->
-    fail_t (Transport (Format.asprintf "%a" Congest.Sim.pp_outcome oc))
-  | Congest.Sim.Round_limit -> fail_t (Transport "round limit exceeded"));
+    post := Transport (Format.asprintf "%a" Congest.Sim.pp_outcome oc) :: !post
+  | Congest.Sim.Round_limit -> post := Transport "round limit exceeded" :: !post);
   (* ---- harvest: per-vertex state -> the Exact_stage interchange record ---- *)
+  (* regroup the members' cluster deposits by owner *)
+  let cluster_by_owner : (int * float * int) list array = Array.make n [] in
+  Array.iteri
+    (fun v entries ->
+      List.iter
+        (fun (w, d, via) -> cluster_by_owner.(w) <- (v, d, via) :: cluster_by_owner.(w))
+        entries)
+    cluster_local;
   let clusters = ref [] in
-  if !failures = [] then
+  if gathered_failures () = [] then
     for i = ih - 1 downto 0 do
       for w = n - 1 downto 0 do
         if levels.(w) = i then begin
           let entries =
             List.sort
               (fun (a, _, _) (b, _, _) -> compare a b)
-              !(cluster_acc.(w))
+              cluster_by_owner.(w)
           in
           let par = Array.make n (-2) and wpar = Array.make n 0.0 in
           par.(w) <- -1;
@@ -605,7 +673,7 @@ let run ~rng ~k ?b ?faults ?reliable ?config ?trace ?max_rounds ?scheduler g =
     List.fold_left
       (fun c (p, rounds) ->
         Cost.add c ~detail:(phase_detail p) ~name:(phase_name p) ~rounds
-          ~peak_memory:phase_peak.(p + 1))
+          ~peak_memory:(Atomic.get phase_peak.(p + 1)))
       Cost.empty
       (List.rev !phase_marks)
   in
@@ -640,7 +708,7 @@ let run ~rng ~k ?b ?faults ?reliable ?config ?trace ?max_rounds ?scheduler g =
       List.rev_map
         (fun (p, rounds) -> (phase_name p, rounds))
         !phase_marks;
-    failures = !failures;
+    failures = gathered_failures ();
   }
 
 let check_against_centralized ~rng g (o : outcome) =

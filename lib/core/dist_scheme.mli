@@ -93,6 +93,7 @@ val run :
   ?trace:Congest.Trace.t ->
   ?max_rounds:int ->
   ?scheduler:Congest.Sim.scheduler ->
+  ?domains:int ->
   Dgraph.Graph.t ->
   outcome
 (** Execute the exact stage. [rng] is consumed exactly as
@@ -102,7 +103,10 @@ val run :
     bit-for-bit. [?b] defaults to the paper's
     [min (n-1) ⌈4·n^{⌈k/2⌉/k}·ln n⌉]. [?reliable] defaults to running over
     {!Congest.Reliable} iff [?faults] is given; [?trace] receives
-    root-emitted phase spans in real rounds. *)
+    root-emitted phase spans in real rounds. [?domains] shards the
+    simulator's event engine across OCaml domains
+    (see {!Congest.Sim.Make.run}); the outcome is bit-identical to a
+    single-domain run. *)
 
 val check_against_centralized :
   rng:Random.State.t -> Dgraph.Graph.t -> outcome -> string list

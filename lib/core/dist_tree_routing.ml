@@ -49,6 +49,181 @@ module M = struct
     | Params _ -> 4
     | Prefix _ -> 5
     | Bc_up p | Bc_down p -> 1 + payload_words p
+
+  (* Slab codec: [tag; fields...], all-int payloads. Broadcast payloads nest
+     their own tag, so the widest record is Bc_up/Bc_down of P_size:
+     message tag + payload tag + 4 fields. *)
+  module Sl = Congest.Slab
+
+  let slots = 6
+
+  let put_payload sl b = function
+    | P_size { origin; anc; s; iter } ->
+      Sl.set sl b 0;
+      Sl.set sl (b + 1) origin;
+      Sl.set sl (b + 2) anc;
+      Sl.set sl (b + 3) s;
+      Sl.set sl (b + 4) iter
+    | P_light { origin; tail; head; iter } ->
+      Sl.set sl b 1;
+      Sl.set sl (b + 1) origin;
+      Sl.set sl (b + 2) tail;
+      Sl.set sl (b + 3) head;
+      Sl.set sl (b + 4) iter
+    | P_light_end { origin; count; iter } ->
+      Sl.set sl b 2;
+      Sl.set sl (b + 1) origin;
+      Sl.set sl (b + 2) count;
+      Sl.set sl (b + 3) iter
+    | P_shift { origin; q; iter } ->
+      Sl.set sl b 3;
+      Sl.set sl (b + 1) origin;
+      Sl.set sl (b + 2) q;
+      Sl.set sl (b + 3) iter
+
+  let get_payload sl b =
+    match Sl.get sl b with
+    | 0 ->
+      P_size
+        {
+          origin = Sl.get sl (b + 1);
+          anc = Sl.get sl (b + 2);
+          s = Sl.get sl (b + 3);
+          iter = Sl.get sl (b + 4);
+        }
+    | 1 ->
+      P_light
+        {
+          origin = Sl.get sl (b + 1);
+          tail = Sl.get sl (b + 2);
+          head = Sl.get sl (b + 3);
+          iter = Sl.get sl (b + 4);
+        }
+    | 2 ->
+      P_light_end
+        {
+          origin = Sl.get sl (b + 1);
+          count = Sl.get sl (b + 2);
+          iter = Sl.get sl (b + 3);
+        }
+    | t -> (
+      match t with
+      | 3 ->
+        P_shift
+          {
+            origin = Sl.get sl (b + 1);
+            q = Sl.get sl (b + 2);
+            iter = Sl.get sl (b + 3);
+          }
+      | _ -> invalid_arg "Dist_tree_routing: corrupt payload tag")
+
+  let encode sl b = function
+    | Hello { is_u } ->
+      Sl.set sl b 0;
+      Sl.set sl (b + 1) (Bool.to_int is_u)
+    | Hello2 -> Sl.set sl b 1
+    | Index { j; pid } ->
+      Sl.set sl b 2;
+      Sl.set sl (b + 1) j;
+      Sl.set sl (b + 2) pid
+    | Bfs { depth } ->
+      Sl.set sl b 3;
+      Sl.set sl (b + 1) depth
+    | Bfs_adopt -> Sl.set sl b 4
+    | Bfs_echo { maxd; ucount } ->
+      Sl.set sl b 5;
+      Sl.set sl (b + 1) maxd;
+      Sl.set sl (b + 2) ucount
+    | Params { t0; dz; usize } ->
+      Sl.set sl b 6;
+      Sl.set sl (b + 1) t0;
+      Sl.set sl (b + 2) dz;
+      Sl.set sl (b + 3) usize
+    | Local_root { w } ->
+      Sl.set sl b 7;
+      Sl.set sl (b + 1) w
+    | Local_size { s } ->
+      Sl.set sl b 8;
+      Sl.set sl (b + 1) s
+    | Size_to_parent { s; id } ->
+      Sl.set sl b 9;
+      Sl.set sl (b + 1) s;
+      Sl.set sl (b + 2) id
+    | Global_size { s; id } ->
+      Sl.set sl b 10;
+      Sl.set sl (b + 1) s;
+      Sl.set sl (b + 2) id
+    | You_are_heavy -> Sl.set sl b 11
+    | Light_item { tail; head } ->
+      Sl.set sl b 12;
+      Sl.set sl (b + 1) tail;
+      Sl.set sl (b + 2) head
+    | Light_end -> Sl.set sl b 13
+    | Final_item { tail; head } ->
+      Sl.set sl b 14;
+      Sl.set sl (b + 1) tail;
+      Sl.set sl (b + 2) head
+    | Final_end -> Sl.set sl b 15
+    | Prefix { j; flag; s; width } ->
+      Sl.set sl b 16;
+      Sl.set sl (b + 1) j;
+      Sl.set sl (b + 2) (Bool.to_int flag);
+      Sl.set sl (b + 3) s;
+      Sl.set sl (b + 4) width
+    | Prefix_add { s } ->
+      Sl.set sl b 17;
+      Sl.set sl (b + 1) s
+    | Range_start { a } ->
+      Sl.set sl b 18;
+      Sl.set sl (b + 1) a
+    | Shift { q } ->
+      Sl.set sl b 19;
+      Sl.set sl (b + 1) q
+    | Bc_up p ->
+      Sl.set sl b 20;
+      put_payload sl (b + 1) p
+    | Bc_down p ->
+      Sl.set sl b 21;
+      put_payload sl (b + 1) p
+
+  let decode sl b =
+    match Sl.get sl b with
+    | 0 -> Hello { is_u = Sl.get sl (b + 1) <> 0 }
+    | 1 -> Hello2
+    | 2 -> Index { j = Sl.get sl (b + 1); pid = Sl.get sl (b + 2) }
+    | 3 -> Bfs { depth = Sl.get sl (b + 1) }
+    | 4 -> Bfs_adopt
+    | 5 -> Bfs_echo { maxd = Sl.get sl (b + 1); ucount = Sl.get sl (b + 2) }
+    | 6 ->
+      Params
+        {
+          t0 = Sl.get sl (b + 1);
+          dz = Sl.get sl (b + 2);
+          usize = Sl.get sl (b + 3);
+        }
+    | 7 -> Local_root { w = Sl.get sl (b + 1) }
+    | 8 -> Local_size { s = Sl.get sl (b + 1) }
+    | 9 -> Size_to_parent { s = Sl.get sl (b + 1); id = Sl.get sl (b + 2) }
+    | 10 -> Global_size { s = Sl.get sl (b + 1); id = Sl.get sl (b + 2) }
+    | 11 -> You_are_heavy
+    | 12 -> Light_item { tail = Sl.get sl (b + 1); head = Sl.get sl (b + 2) }
+    | 13 -> Light_end
+    | 14 -> Final_item { tail = Sl.get sl (b + 1); head = Sl.get sl (b + 2) }
+    | 15 -> Final_end
+    | 16 ->
+      Prefix
+        {
+          j = Sl.get sl (b + 1);
+          flag = Sl.get sl (b + 2) <> 0;
+          s = Sl.get sl (b + 3);
+          width = Sl.get sl (b + 4);
+        }
+    | 17 -> Prefix_add { s = Sl.get sl (b + 1) }
+    | 18 -> Range_start { a = Sl.get sl (b + 1) }
+    | 19 -> Shift { q = Sl.get sl (b + 1) }
+    | 20 -> Bc_up (get_payload sl (b + 1))
+    | 21 -> Bc_down (get_payload sl (b + 1))
+    | t -> invalid_arg (Printf.sprintf "Dist_tree_routing: corrupt tag %d" t)
 end
 
 module S = Congest.Sim.Make (M)
@@ -93,7 +268,7 @@ type action =
   | A_params_check
 
 let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config ?trace ?max_rounds
-    ?scheduler g ~tree =
+    ?scheduler ?domains g ~tree =
   let use_reliable =
     match reliable with Some b -> b | None -> Option.is_some faults
   in
@@ -122,8 +297,14 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config ?trace ?max_rounds
   let llog = int_of_float (ceil (log (float_of_int (max 2 n)) /. log 2.0)) in
   let tables : Tz.Tree_routing.table option array = Array.make n None in
   let labels : Tz.Tree_routing.label option array = Array.make n None in
-  let failures = ref [] in
-  let fail v s = failures := Printf.sprintf "v%d: %s" v s :: !failures in
+  (* Per-vertex failure slots: a vertex only ever reports about itself, so
+     giving each its own cell keeps the collection race-free under the
+     domain-sharded scheduler and makes the final order canonical (vertex
+     id, then program order) instead of scheduler-interleaving order. *)
+  let fail_slots : string list array = Array.make n [] in
+  let fail v s =
+    fail_slots.(v) <- Printf.sprintf "v%d: %s" v s :: fail_slots.(v)
+  in
   let u_count_out = ref 1 and dz_out = ref 0 in
 
   let node ((module T) : transport) ~me ~(neighbors : int array) =
@@ -714,26 +895,32 @@ let run ~rng ?q ?(stagger = true) ?faults ?reliable ?config ?trace ?max_rounds
   in
   let report =
     if use_reliable then
-      R.run ~edge_capacity:2 ?faults ?trace ?max_rounds ?scheduler ?config g
+      R.run ~edge_capacity:2 ?faults ?trace ?max_rounds ?scheduler ?domains
+        ?config g
         ~node:(fun t rctx -> node t ~me:rctx.R.me ~neighbors:rctx.R.neighbors)
     else
-      S.run ~edge_capacity:2 ?faults ?trace ?max_rounds ?scheduler g
+      S.run ~edge_capacity:2 ?faults ?trace ?max_rounds ?scheduler ?domains g
         ~node:(fun (sctx : S.ctx) ->
           node
             (module S.Transport : Congest.Sim.TRANSPORT with type msg = msg)
             ~me:sctx.S.me ~neighbors:sctx.S.neighbors)
   in
-  (match report.Congest.Sim.outcome with
-  | Congest.Sim.Completed -> ()
-  | Congest.Sim.Deadlocked _ as oc ->
-    failures := Format.asprintf "%a" Congest.Sim.pp_outcome oc :: !failures
-  | Congest.Sim.Round_limit -> failures := "round limit exceeded" :: !failures);
+  let failures =
+    let per_vertex =
+      Array.fold_right (fun fs acc -> List.rev_append fs acc) fail_slots []
+    in
+    match report.Congest.Sim.outcome with
+    | Congest.Sim.Completed -> per_vertex
+    | Congest.Sim.Deadlocked _ as oc ->
+      Format.asprintf "%a" Congest.Sim.pp_outcome oc :: per_vertex
+    | Congest.Sim.Round_limit -> "round limit exceeded" :: per_vertex
+  in
   {
     scheme = { Tz.Tree_routing.tree; tables; labels };
     report = report.Congest.Sim.metrics;
     u_count = !u_count_out;
     d_bfs = !dz_out;
-    failures = !failures;
+    failures;
   }
 
 type batch_outcome = {

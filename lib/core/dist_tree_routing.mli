@@ -46,6 +46,7 @@ val run :
   ?trace:Congest.Trace.t ->
   ?max_rounds:int ->
   ?scheduler:Congest.Sim.scheduler ->
+  ?domains:int ->
   Dgraph.Graph.t ->
   tree:Dgraph.Tree.t ->
   outcome
@@ -79,7 +80,9 @@ val run :
     [max_rounds] caps the underlying simulator's round counter (the run then
     reports ["round limit exceeded"] in [failures]); [scheduler] selects the
     simulator's round engine — outcomes and metrics are identical under
-    either, only wall-clock differs.
+    either, only wall-clock differs. [domains] shards the event engine
+    across OCaml domains (see {!Congest.Sim.Make.run}); the resulting
+    scheme, metrics and failures are bit-identical to a single-domain run.
 
     @raise Invalid_argument if the tree uses non-edges of the graph *)
 

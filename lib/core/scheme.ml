@@ -497,15 +497,3 @@ let build ~rng ~k ?(params = Params.default) ?trace g =
   in
   let exact = Exact_stage.compute g ~k ~levels in
   build_from_exact ~rng ~params ?trace ~hierarchy ~exact g
-
-let build_legacy ~rng ~k ?epsilon ?lambda ?beta ?b g =
-  let d = Params.default in
-  let params =
-    {
-      Params.epsilon = Option.value ~default:d.Params.epsilon epsilon;
-      lambda = Option.value ~default:d.Params.lambda lambda;
-      beta;
-      b;
-    }
-  in
-  build ~rng ~k ~params g

@@ -132,21 +132,6 @@ val build_from_exact :
     bit-identical output. Note that [params.b] must match the value the
     exact stage's virtual wave used, if it ran one. *)
 
-val build_legacy :
-  rng:Random.State.t ->
-  k:int ->
-  ?epsilon:float ->
-  ?lambda:int ->
-  ?beta:int ->
-  ?b:int ->
-  Dgraph.Graph.t ->
-  t
-[@@ocaml.deprecated
-  "use Scheme.build ~params:{ Scheme.Params.default with ... } instead; \
-   build_legacy will be removed after one release"]
-(** Thin wrapper over {!build} keeping the pre-{!Params} calling convention
-    alive for one release. *)
-
 (** {1 Routing} *)
 
 val k : t -> int

@@ -9,6 +9,9 @@ module Imsg = struct
   type t = int
 
   let words _ = 1
+  let slots = 1
+  let encode s b v = Congest.Slab.set s b v
+  let decode s b = Congest.Slab.get s b
 end
 
 module CS = Congest.Sim
@@ -140,6 +143,9 @@ let test_word_limit () =
     type t = unit
 
     let words () = 100
+    let slots = 0
+    let encode _ _ () = ()
+    let decode _ _ = ()
   end in
   let module W = Congest.Sim.Make (Wide) in
   let g = Gen.ring ~rng:(rng ()) ~n:2 () in
@@ -360,6 +366,9 @@ let test_reliable_word_limit () =
     type t = unit
 
     let words () = 100
+    let slots = 0
+    let encode _ _ () = ()
+    let decode _ _ = ()
   end in
   let module RW = Congest.Reliable.Make (Wide) in
   let g = Gen.ring ~rng:(rng ()) ~n:2 () in

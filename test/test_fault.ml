@@ -13,6 +13,9 @@ module Imsg = struct
   type t = int
 
   let words _ = 1
+  let slots = 1
+  let encode s b v = Congest.Slab.set s b v
+  let decode s b = Congest.Slab.get s b
 end
 
 module S = Congest.Sim.Make (Imsg)

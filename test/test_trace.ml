@@ -16,6 +16,9 @@ module Imsg = struct
   type t = int
 
   let words _ = 1
+  let slots = 1
+  let encode s b v = Congest.Slab.set s b v
+  let decode s b = Congest.Slab.get s b
 end
 
 module S = CS.Make (Imsg)
@@ -378,33 +381,30 @@ let test_routing_errors () =
       Tz.Routing_error.Ttl_exceeded 160;
     ]
 
-(* ---------- the deprecated wrapper builds the same scheme ---------- *)
+(* ---------- ?params defaults to Params.default ---------- *)
 
-[@@@alert "-deprecated"]
-
-let test_build_legacy_equivalence () =
+let test_params_default_equivalence () =
   let g =
     Gen.connected_erdos_renyi ~rng:(rng 81)
       ~weights:(Gen.uniform_weights 1.0 8.0) ~n:50 ~avg_deg:5.0 ()
   in
-  let via_params =
+  let implicit = Routing.Scheme.build ~rng:(rng 82) ~k:2 g in
+  let explicit =
     Routing.Scheme.build ~rng:(rng 82) ~k:2
-      ~params:{ Routing.Scheme.Params.default with epsilon = 0.1 }
-      g
+      ~params:Routing.Scheme.Params.default g
   in
-  let via_legacy = Routing.Scheme.build_legacy ~rng:(rng 82) ~k:2 ~epsilon:0.1 g in
   Alcotest.(check int) "same rounds"
-    (Routing.Cost.total_rounds (Routing.Scheme.cost via_params))
-    (Routing.Cost.total_rounds (Routing.Scheme.cost via_legacy));
+    (Routing.Cost.total_rounds (Routing.Scheme.cost implicit))
+    (Routing.Cost.total_rounds (Routing.Scheme.cost explicit));
   Alcotest.(check int) "same tables"
-    (Routing.Scheme.max_table_words via_params)
-    (Routing.Scheme.max_table_words via_legacy);
+    (Routing.Scheme.max_table_words implicit)
+    (Routing.Scheme.max_table_words explicit);
   let r = rng 83 in
   for _ = 1 to 100 do
     let src = Random.State.int r (Graph.n g) and dst = Random.State.int r (Graph.n g) in
     Alcotest.(check bool) "same routes" true
-      (Routing.Scheme.route via_params ~src ~dst
-      = Routing.Scheme.route via_legacy ~src ~dst)
+      (Routing.Scheme.route implicit ~src ~dst
+      = Routing.Scheme.route explicit ~src ~dst)
   done
 
 let () =
@@ -450,7 +450,7 @@ let () =
       ( "api",
         [
           Alcotest.test_case "typed routing errors" `Quick test_routing_errors;
-          Alcotest.test_case "build_legacy equivalence" `Quick
-            test_build_legacy_equivalence;
+          Alcotest.test_case "params default equivalence" `Quick
+            test_params_default_equivalence;
         ] );
     ]
