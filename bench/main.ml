@@ -1289,15 +1289,40 @@ let traffic_bench ?(smoke = false) () =
      else
        "Traffic: packed forwarding engine under synthetic matrices \
         (differential-gated against Graph_routing/Oracle)");
-  Printf.printf "%-8s %4s %6s %-8s | %9s %9s | %5s %5s %5s | %7s %7s %6s\n"
-    "topology" "seed" "n" "model" "queries" "qps" "p50" "p95" "max" "maxload"
-    "spmax" "fail";
+  Printf.printf
+    "%-8s %4s %6s %-8s %3s | %9s %9s %7s | %5s %5s %5s | %7s %7s %6s\n"
+    "topology" "seed" "n" "model" "dom" "queries" "qps" "speedup" "p50" "p95"
+    "max" "maxload" "spmax" "fail";
   line ();
   let k = 3 in
   let side = if smoke then 16 else 64 in
   let n = side * side in
   let per_model = if smoke then 3_000 else 350_000 in
   let gate_pairs = 2_000 in
+  (* domain sweep: every multi-domain row is gated on bit-identity against
+     the domains=1 baseline before its timing is reported; on a 1-CPU host
+     speedup_vs_1 measures barrier overhead, which is worth tracking too *)
+  let domain_counts = if smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  (* the bracketed forwarding loops must allocate nothing; a small
+     per-domain slack absorbs Gc bookkeeping noise *)
+  let alloc_budget nd = 4096.0 *. float_of_int nd in
+  (* deterministic-field fingerprint: everything in [stats] except timings
+     and cache counters; [compare] (not [=]) so NaN stretch fields of an
+     all-failed run still match themselves *)
+  let fingerprint (st : Serve.Engine.stats) =
+    ( ( st.Serve.Engine.delivered,
+        st.Serve.Engine.failed,
+        st.Serve.Engine.errors,
+        st.Serve.Engine.sources ),
+      ( Congest.Histogram.buckets st.Serve.Engine.hops,
+        Congest.Histogram.buckets st.Serve.Engine.load,
+        Congest.Histogram.buckets st.Serve.Engine.base_load ),
+      ( st.Serve.Engine.stretch_p50,
+        st.Serve.Engine.stretch_p95,
+        st.Serve.Engine.stretch_max,
+        st.Serve.Engine.stretch_avg ),
+      (st.Serve.Engine.max_load, st.Serve.Engine.base_max_load) )
+  in
   let jrows = ref [] in
   let run_graph (tname, g) seed =
     let brng = rng (7100 + seed) in
@@ -1341,24 +1366,79 @@ let traffic_bench ?(smoke = false) () =
     let oracle_qps s =
       if s > 0.0 then float_of_int (Array.length opairs) /. s else 0.0
     in
+    (* one per-source Dijkstra cache per (topology, seed), shared across
+       every model and domain count below — repeated sources re-solve
+       nothing *)
+    let cache = Serve.Engine.sp_cache g in
+    let hits = ref 0 and misses = ref 0 and dijkstra_s = ref 0.0 in
     List.iter
       (fun model ->
         let mrng = rng (7400 + seed) in
         let queries = Serve.Traffic.generate ~rng:mrng model g ~queries:per_model in
-        let st = Serve.Engine.run g packed queries in
+        let base = ref None in
+        let by_domains = ref [] in
+        List.iter
+          (fun domains ->
+            let st = Serve.Engine.run ~domains ~cache g packed queries in
+            hits := !hits + st.Serve.Engine.sp_hits;
+            misses := !misses + st.Serve.Engine.sp_misses;
+            dijkstra_s := !dijkstra_s +. st.Serve.Engine.dijkstra_seconds;
+            if st.Serve.Engine.loop_alloc_bytes
+               > alloc_budget st.Serve.Engine.domains
+            then begin
+              Printf.eprintf
+                "traffic %s/%d %s: forwarding loop allocated %.0f bytes at \
+                 domains=%d (budget %.0f) -- hot-path allocation regression\n"
+                tname seed (Serve.Traffic.name model)
+                st.Serve.Engine.loop_alloc_bytes st.Serve.Engine.domains
+                (alloc_budget st.Serve.Engine.domains);
+              exit 1
+            end;
+            let fp = fingerprint st in
+            (* no perf claim before bit-identity against domains=1 is proven *)
+            (match !base with
+            | None -> base := Some (fp, st)
+            | Some (fp0, _) ->
+              if compare fp fp0 <> 0 then begin
+                Printf.eprintf
+                  "traffic %s/%d %s: domains=%d diverged from the domains=1 \
+                   baseline -- sharding bug\n"
+                  tname seed (Serve.Traffic.name model) domains;
+                exit 1
+              end);
+            let _, st1 = Option.get !base in
+            let speedup =
+              if st1.Serve.Engine.qps > 0.0 then
+                st.Serve.Engine.qps /. st1.Serve.Engine.qps
+              else 0.0
+            in
+            Printf.printf
+              "%-8s %4d %6d %-8s %3d | %9d %9.0f %6.2fx | %5.2f %5.2f %5.2f \
+               | %7d %7d %6d\n"
+              tname seed n (Serve.Traffic.name model) st.Serve.Engine.domains
+              st.Serve.Engine.queries st.Serve.Engine.qps speedup
+              st.Serve.Engine.stretch_p50 st.Serve.Engine.stretch_p95
+              st.Serve.Engine.stretch_max st.Serve.Engine.max_load
+              st.Serve.Engine.base_max_load st.Serve.Engine.failed;
+            by_domains :=
+              J.Obj
+                [
+                  ("domains", J.Int st.Serve.Engine.domains);
+                  ("queries_per_sec", J.Float st.Serve.Engine.qps);
+                  ("speedup_vs_1", J.Float speedup);
+                  ("identical", J.Bool true);
+                  ( "loop_alloc_bytes",
+                    J.Float st.Serve.Engine.loop_alloc_bytes );
+                ]
+              :: !by_domains)
+          domain_counts;
+        let _, st = Option.get !base in
         let bound = float_of_int ((4 * k) - 3) in
         if st.Serve.Engine.stretch_max > bound +. 1e-9 then
           failwith
             (Printf.sprintf "traffic %s/%d %s: stretch %.3f beyond 4k-3 = %.0f"
                tname seed (Serve.Traffic.name model)
                st.Serve.Engine.stretch_max bound);
-        Printf.printf
-          "%-8s %4d %6d %-8s | %9d %9.0f | %5.2f %5.2f %5.2f | %7d %7d %6d\n"
-          tname seed n (Serve.Traffic.name model) st.Serve.Engine.queries
-          st.Serve.Engine.qps st.Serve.Engine.stretch_p50
-          st.Serve.Engine.stretch_p95 st.Serve.Engine.stretch_max
-          st.Serve.Engine.max_load st.Serve.Engine.base_max_load
-          st.Serve.Engine.failed;
         jrows :=
           J.Obj
             [
@@ -1370,7 +1450,13 @@ let traffic_bench ?(smoke = false) () =
               ("queries", J.Int st.Serve.Engine.queries);
               ("delivered", J.Int st.Serve.Engine.delivered);
               ("failed", J.Int st.Serve.Engine.failed);
+              ( "errors",
+                J.Obj
+                  (List.map
+                     (fun (kind, c) -> (kind, J.Int c))
+                     st.Serve.Engine.errors) );
               ("queries_per_sec", J.Float st.Serve.Engine.qps);
+              ("by_domains", J.Arr (List.rev !by_domains));
               ("stretch_p50", J.Float st.Serve.Engine.stretch_p50);
               ("stretch_p95", J.Float st.Serve.Engine.stretch_p95);
               ("stretch_max", J.Float st.Serve.Engine.stretch_max);
@@ -1391,24 +1477,60 @@ let traffic_bench ?(smoke = false) () =
               ("differential_gate_pairs", J.Int gate_pairs);
             ]
           :: !jrows)
-      [ Serve.Traffic.Uniform; Serve.Traffic.Zipf 1.1; Serve.Traffic.Far_pairs ]
+      [
+        Serve.Traffic.Uniform;
+        Serve.Traffic.Zipf 1.1;
+        Serve.Traffic.Gravity 1.0;
+        Serve.Traffic.Bimodal (0.05, 0.8);
+        Serve.Traffic.Far_pairs;
+      ];
+    (* what the shared per-source cache bought on this graph: every hit is
+       one Dijkstra not re-solved, valued at the measured mean miss cost *)
+    let saved =
+      if !misses > 0 then
+        float_of_int !hits *. (!dijkstra_s /. float_of_int !misses)
+      else 0.0
+    in
+    Printf.printf
+      "%-8s %4d sp-cache: %d hits / %d misses, ~%.1fs of Dijkstra re-solves \
+       avoided\n"
+      tname seed !hits !misses saved;
+    (!hits, !misses, saved)
+  in
+  let tot_hits = ref 0 and tot_misses = ref 0 and tot_saved = ref 0.0 in
+  let tally (h, m, s) =
+    tot_hits := !tot_hits + h;
+    tot_misses := !tot_misses + m;
+    tot_saved := !tot_saved +. s
   in
   List.iter
     (fun seed ->
-      run_graph ("grid", Gen.grid ~rng:(rng (7000 + seed)) ~rows:side ~cols:side ()) seed;
-      run_graph
-        ( "er",
-          Gen.connected_erdos_renyi ~rng:(rng (7001 + seed)) ~n ~avg_deg:4.0 () )
-        seed)
+      tally
+        (run_graph
+           ("grid", Gen.grid ~rng:(rng (7000 + seed)) ~rows:side ~cols:side ())
+           seed);
+      tally
+        (run_graph
+           ( "er",
+             Gen.connected_erdos_renyi ~rng:(rng (7001 + seed)) ~n
+               ~avg_deg:4.0 () )
+           seed))
     [ 1; 2 ];
   Printf.printf
     "differential gate: packed router/oracle identical to centralized on %d \
-     random pairs per graph\n"
-    gate_pairs;
+     random pairs per graph; sharded engine identical to domains=1 at \
+     domains in {%s}\n"
+    gate_pairs
+    (String.concat "," (List.map string_of_int domain_counts));
   emit_json "traffic"
     [
       ("smoke", J.Bool smoke);
       ("per_model_queries", J.Int per_model);
+      ( "domain_counts",
+        J.Arr (List.map (fun d -> J.Int d) domain_counts) );
+      ("sp_cache_hits", J.Int !tot_hits);
+      ("sp_cache_misses", J.Int !tot_misses);
+      ("sp_cache_seconds_saved", J.Float !tot_saved);
       ("rows", J.Arr (List.rev !jrows));
     ]
 
@@ -1554,6 +1676,19 @@ let scale ?(smoke = false) () =
           ]
         :: !jrows)
     domain_counts;
+  (* sampled-gate smoke: the spot-check path must reach the same verdict as
+     the exact gate it subsamples, so CI exercises it on a row where the
+     exact gate is also known to pass *)
+  let o = DS.run ~rng:(rng 9004) ~k:4 ds_g in
+  let smode = DS.Sampled { sample = 8; seed = 0x5eed } in
+  (match DS.check_against_centralized ~rng:(rng 9004) ~mode:smode ds_g o with
+  | [] ->
+    Printf.printf "%-22s %8d gate %s: identical to centralized\n"
+      "distscheme-er" ds_n (DS.gate_mode_name smode)
+  | ds ->
+    Printf.eprintf "scale: sampled gate diverged on distscheme-er (%s)\n"
+      (match ds with d :: _ -> d | [] -> "");
+    exit 1);
   (* -------- section 2: big tree-routing runs -------- *)
   (* At n = 10^6 the paper's q = 1/sqrt n puts ~1000 vertices in U(T), and
      the pointer-jumping stages broadcast from each of them log n times --
@@ -1619,7 +1754,64 @@ let scale ?(smoke = false) () =
         let g0 = Gen.gnm ~rng:(rng 9012) ~n:1_020_000 ~m:2_100_000 () in
         let g = fst (Graph.largest_component g0) in
         (g, Tree.bfs_spanning g ~root:0))
-      ()
+      ();
+    (* dist-scheme at n >= 10^5. The paper's default B would run the
+       virtual wave for ~4*sqrt(n)*ln n (~14,500) supersteps -- days of
+       1-CPU simulation -- so the big row passes an explicit small B, the
+       same move the big tree rows make with q: identical protocol,
+       identical hop-bounded machinery, and the virtual rows are defined
+       relative to whatever B ran, so the differential gate still applies
+       bit-for-bit. At this n the gate itself switches to the sampled
+       mode (exact levels/distances/pivots/order, spot-checked waves). *)
+    let ds_big_n = 100_000 in
+    let bg =
+      Gen.connected_erdos_renyi ~rng:(rng 9020)
+        ~weights:(Gen.uniform_weights 1.0 4.0) ~n:ds_big_n ~avg_deg:4.0 ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let o = DS.run ~rng:(rng 9021) ~k:4 ~b:24 ~domains:4 bg in
+    let wall = Unix.gettimeofday () -. t0 in
+    assert (o.DS.failures = []);
+    let mode = DS.auto_gate_mode ds_big_n in
+    let tg = Unix.gettimeofday () in
+    (match DS.check_against_centralized ~rng:(rng 9021) ~mode bg o with
+    | [] -> ()
+    | d :: _ ->
+      Printf.eprintf "scale: distscheme-er-100k diverged (%s gate): %s\n"
+        (DS.gate_mode_name mode) d;
+      exit 1);
+    let gate_wall = Unix.gettimeofday () -. tg in
+    let m = o.DS.report in
+    let rounds = m.Congest.Metrics.rounds in
+    let vrps = float_of_int (rounds * ds_big_n) /. wall in
+    let bpr =
+      8.0 *. float_of_int m.Congest.Metrics.message_words
+      /. float_of_int (max 1 rounds)
+    in
+    Printf.printf "%-22s %8d %7d | %9.3f %10d %12.3e %11.1f %8s %5s\n"
+      "distscheme-er-100k" ds_big_n 4 wall rounds vrps bpr "-" "ok";
+    Printf.printf "%-22s %8s gate %s: identical, %.1fs\n" "" ""
+      (DS.gate_mode_name mode) gate_wall;
+    jrows :=
+      J.Obj
+        [
+          ("row", J.Str "distscheme-er-100k");
+          ("topology", J.Str "er");
+          ("n", J.Int ds_big_n);
+          ("k", J.Int 4);
+          ("b", J.Int o.DS.b);
+          ("domains", J.Int 4);
+          ("virtual_size", J.Int (List.length o.DS.members));
+          ("wall_s", J.Float wall);
+          ("rounds", J.Int rounds);
+          ("messages", J.Int m.Congest.Metrics.messages);
+          ("vertex_rounds_per_sec", J.Float vrps);
+          ("bytes_per_round", J.Float bpr);
+          ("gate_mode", J.Str (DS.gate_mode_name mode));
+          ("gate_wall_s", J.Float gate_wall);
+          ("identical", J.Bool true);
+        ]
+      :: !jrows
   end;
   emit_json "scale"
     [ ("smoke", J.Bool smoke); ("rows", J.Arr (List.rev !jrows)) ]

@@ -462,13 +462,16 @@ let dist_scheme_cmd =
       Routing.Dist_scheme.run ~rng ~k ?b ?faults ?reliable ?trace
         ?max_rounds:rounds_limit ~domains g
     in
+    (* exact below Dist_scheme.gate_threshold vertices, sampled above — the
+       mode is always reported next to the verdict *)
+    let gate_mode = Routing.Dist_scheme.auto_gate_mode (Graph.n g) in
     let divergences =
       if no_check || out.Routing.Dist_scheme.failures <> [] then None
       else
         Some
           (Routing.Dist_scheme.check_against_centralized
              ~rng:(Random.State.make [| seed; 6 |])
-             g out)
+             ~mode:gate_mode g out)
     in
     let m = out.Routing.Dist_scheme.report in
     if json then
@@ -493,6 +496,11 @@ let dist_scheme_cmd =
                   Routing.Cost.to_json
                     out.Routing.Dist_scheme.exact.Routing.Scheme.Exact_stage.phases );
                 ("metrics", Congest.Export.metrics m);
+                ( "gate_mode",
+                  match divergences with
+                  | None -> Null
+                  | Some _ -> Str (Routing.Dist_scheme.gate_mode_name gate_mode)
+                );
                 ( "divergences",
                   match divergences with
                   | None -> Null
@@ -534,9 +542,13 @@ let dist_scheme_cmd =
       | None ->
         if out.Routing.Dist_scheme.failures = [] then
           Format.printf "differential gate: skipped@."
-      | Some [] -> Format.printf "differential gate: identical to centralized@."
+      | Some [] ->
+        Format.printf "differential gate (%s): identical to centralized@."
+          (Routing.Dist_scheme.gate_mode_name gate_mode)
       | Some ds ->
-        Format.printf "differential gate: %d DIVERGENCES@." (List.length ds);
+        Format.printf "differential gate (%s): %d DIVERGENCES@."
+          (Routing.Dist_scheme.gate_mode_name gate_mode)
+          (List.length ds);
         List.iteri (fun i d -> if i < 10 then Format.printf "  %s@." d) ds;
         exit 1
     end
@@ -692,7 +704,16 @@ let traffic_cmd =
       & info [ "queries" ] ~docv:"Q" ~doc:"Queries per traffic model.")
   in
   let model_t =
-    let alts = [ ("all", `All); ("uniform", `Uniform); ("zipf", `Zipf); ("far", `Far) ] in
+    let alts =
+      [
+        ("all", `All);
+        ("uniform", `Uniform);
+        ("zipf", `Zipf);
+        ("gravity", `Gravity);
+        ("bimodal", `Bimodal);
+        ("far", `Far);
+      ]
+    in
     let doc =
       Printf.sprintf "Traffic model, one of %s." (Arg.doc_alts_enum alts)
     in
@@ -711,7 +732,7 @@ let traffic_cmd =
             "Skip the differential gate proving the packed router and oracle \
              bit-identical to the centralized reference.")
   in
-  let run seed n k topology queries model zipf_s no_check json =
+  let run seed n k topology queries model zipf_s domains no_check json =
     let g = make_graph ~seed ~n topology in
     let rng = Random.State.make [| seed; 7 |] in
     if not json then
@@ -741,13 +762,24 @@ let traffic_cmd =
     end;
     let models =
       match model with
-      | `All -> [ Serve.Traffic.Uniform; Serve.Traffic.Zipf zipf_s; Serve.Traffic.Far_pairs ]
+      | `All ->
+        [
+          Serve.Traffic.Uniform;
+          Serve.Traffic.Zipf zipf_s;
+          Serve.Traffic.Gravity 1.0;
+          Serve.Traffic.Bimodal (0.05, 0.8);
+          Serve.Traffic.Far_pairs;
+        ]
       | `Uniform -> [ Serve.Traffic.Uniform ]
       | `Zipf -> [ Serve.Traffic.Zipf zipf_s ]
+      | `Gravity -> [ Serve.Traffic.Gravity 1.0 ]
+      | `Bimodal -> [ Serve.Traffic.Bimodal (0.05, 0.8) ]
       | `Far -> [ Serve.Traffic.Far_pairs ]
     in
     let trace = if json then Some (Congest.Trace.make ()) else None in
     let clock = ref 0 in
+    (* one per-source Dijkstra cache for every model and gate run below *)
+    let cache = Serve.Engine.sp_cache g in
     let rows =
       List.map
         (fun m ->
@@ -755,12 +787,42 @@ let traffic_cmd =
           let pairs = Serve.Traffic.generate ~rng:mrng m g ~queries in
           let st =
             Serve.Engine.run ?trace ~label:(Serve.Traffic.name m)
-              ~clock0:!clock g packed pairs
+              ~clock0:!clock ~domains ~cache g packed pairs
           in
           clock := Serve.Engine.clock_after ~clock0:!clock st;
           (m, st))
         models
     in
+    (* sharding gate: a multi-domain serve must be bit-identical to the
+       sequential engine on every deterministic statistic *)
+    if domains > 1 && not no_check then begin
+      let fingerprint (st : Serve.Engine.stats) =
+        ( (st.delivered, st.failed, st.errors, st.sources),
+          ( Congest.Histogram.buckets st.hops,
+            Congest.Histogram.buckets st.load,
+            Congest.Histogram.buckets st.base_load ),
+          (st.stretch_p50, st.stretch_p95, st.stretch_max, st.stretch_avg),
+          (st.max_load, st.base_max_load) )
+      in
+      List.iter
+        (fun ((m : Serve.Traffic.model), st) ->
+          let mrng = Random.State.make [| seed; 9 |] in
+          let pairs = Serve.Traffic.generate ~rng:mrng m g ~queries in
+          let st1 = Serve.Engine.run ~domains:1 ~cache g packed pairs in
+          if compare (fingerprint st) (fingerprint st1) <> 0 then begin
+            Format.eprintf
+              "engine gate FAILED on %s: --domains %d diverged from \
+               --domains 1@."
+              (Serve.Traffic.name m) domains;
+            exit 1
+          end)
+        rows;
+      if not json then
+        Format.printf
+          "engine gate: --domains %d bit-identical to --domains 1 on every \
+           model@."
+          domains
+    end;
     if json then
       let open Congest.Export.Json in
       print_endline
@@ -783,9 +845,13 @@ let traffic_cmd =
                            [
                              ("model", Str (Serve.Traffic.name m));
                              ("queries", Int st.queries);
+                             ("domains", Int st.domains);
                              ("delivered", Int st.delivered);
                              ("failed", Int st.failed);
                              ("queries_per_sec", Float st.qps);
+                             ("loop_alloc_bytes", Float st.loop_alloc_bytes);
+                             ("sp_cache_hits", Int st.sp_hits);
+                             ("sp_cache_misses", Int st.sp_misses);
                              ("stretch_p50", Float st.stretch_p50);
                              ("stretch_p95", Float st.stretch_p95);
                              ("stretch_max", Float st.stretch_max);
@@ -831,12 +897,14 @@ let traffic_cmd =
     (Cmd.info "traffic"
        ~doc:
          "Compile the built scheme into packed flat arrays and push synthetic \
-          traffic (uniform, Zipf hot-spot, adversarial far-pairs) through the \
-          forwarding engine, reporting queries/sec, stretch percentiles and \
+          traffic (uniform, Zipf hot-spot, gravity, bimodal hot-clique, \
+          adversarial far-pairs) through the forwarding engine — optionally \
+          sharded across OCaml domains, gated bit-identical to the \
+          sequential engine — reporting queries/sec, stretch percentiles and \
           per-edge congestion vs the shortest-path baseline.")
     Term.(
       const run $ seed_t $ n_t $ k_t $ topology_t $ queries_t $ model_t
-      $ zipf_s_t $ no_check_t $ json_t)
+      $ zipf_s_t $ domains_t $ no_check_t $ json_t)
 
 (* ---- json-check ---- *)
 

@@ -78,23 +78,28 @@ let of_array a =
   Array.iter (fun v -> add t v) a;
   t
 
+let pour t src =
+  for v = 0 to src.vmax do
+    let c = src.counts.(v) in
+    if c > 0 then begin
+      if v >= Array.length t.counts then grow t v;
+      t.counts.(v) <- t.counts.(v) + c;
+      t.total <- t.total + c;
+      t.sum <- t.sum + (v * c);
+      if v > t.vmax then t.vmax <- v;
+      if v < t.vmin then t.vmin <- v
+    end
+  done
+
 let merge a b =
   let t = create () in
-  let pour src =
-    for v = 0 to src.vmax do
-      let c = src.counts.(v) in
-      if c > 0 then begin
-        if v >= Array.length t.counts then grow t v;
-        t.counts.(v) <- t.counts.(v) + c;
-        t.total <- t.total + c;
-        t.sum <- t.sum + (v * c);
-        if v > t.vmax then t.vmax <- v;
-        if v < t.vmin then t.vmin <- v
-      end
-    done
-  in
-  pour a;
-  pour b;
+  pour t a;
+  pour t b;
+  t
+
+let merge_list ts =
+  let t = create () in
+  List.iter (pour t) ts;
   t
 
 let buckets t =

@@ -38,6 +38,12 @@ val merge : t -> t -> t
     sample streams — the invariant the per-domain metrics merge of the
     sharded scheduler relies on, property-tested in the suite. *)
 
+val merge_list : t list -> t
+(** Fold of {!merge} over the list, front to back — a fresh histogram
+    holding every sample set. Exact for the same reason {!merge} is; the
+    list order never shows in any derived statistic, so merging per-domain
+    accumulators "in domain order" is a convention, not a requirement. *)
+
 val buckets : t -> (int * int) list
 (** Non-empty [(value, count)] pairs in increasing value order. *)
 

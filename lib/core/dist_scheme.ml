@@ -711,66 +711,162 @@ let run ~rng ~k ?b ?faults ?reliable ?config ?trace ?max_rounds ?scheduler
     failures = gathered_failures ();
   }
 
-let check_against_centralized ~rng g (o : outcome) =
+type gate_mode = Exact | Sampled of { sample : int; seed : int }
+
+let gate_threshold = 20_000
+
+let auto_gate_mode ?(sample = 256) n =
+  if n <= gate_threshold then Exact else Sampled { sample; seed = 0x5eed }
+
+let gate_mode_name = function
+  | Exact -> "exact"
+  | Sampled { sample; seed } ->
+    Printf.sprintf "sampled(sample=%d,seed=%d)" sample seed
+
+(* [m] distinct indices from [0, total), seed-deterministic, ascending. *)
+let sample_indices srng total m =
+  if m >= total then List.init total Fun.id
+  else begin
+    let idx = Array.init total Fun.id in
+    for i = total - 1 downto 1 do
+      let j = Random.State.int srng (i + 1) in
+      let t = idx.(i) in
+      idx.(i) <- idx.(j);
+      idx.(j) <- t
+    done;
+    Array.sub idx 0 m |> Array.to_list |> List.sort compare
+  end
+
+let check_against_centralized ~rng ?(mode = Exact) g (o : outcome) =
   let errs = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
   let n = Graph.n g in
   let ex = o.exact in
   let k = ex.Scheme.Exact_stage.k and ih = ex.Scheme.Exact_stage.ih in
+  let levels = ex.Scheme.Exact_stage.levels in
+  (* levels: always exact — one pass over the pre-drawn sampling stream *)
   let h = Tz.Hierarchy.sample ~rng ~k ~n in
   for v = 0 to n - 1 do
-    if Tz.Hierarchy.level h v <> ex.Scheme.Exact_stage.levels.(v) then
-      err "level of v%d: distributed %d, centralized %d" v
-        ex.Scheme.Exact_stage.levels.(v) (Tz.Hierarchy.level h v)
+    if Tz.Hierarchy.level h v <> levels.(v) then
+      err "level of v%d: distributed %d, centralized %d" v levels.(v)
+        (Tz.Hierarchy.level h v)
   done;
-  let c = Scheme.Exact_stage.compute g ~k ~levels:ex.Scheme.Exact_stage.levels in
+  (* per-level distances and raw pivot attributions: always exact — one lex
+     multi-source Dijkstra per level is cheap even where recomputing all n
+     bounded cluster waves is not *)
+  let cdist, cpivots =
+    match mode with
+    | Exact ->
+      let c = Scheme.Exact_stage.compute g ~k ~levels in
+      (* full-cluster comparison rides along in exact mode *)
+      let dc = c.Scheme.Exact_stage.clusters
+      and dd = ex.Scheme.Exact_stage.clusters in
+      if List.length dc <> List.length dd then
+        err "cluster count: distributed %d, centralized %d" (List.length dd)
+          (List.length dc)
+      else
+        List.iter2
+          (fun (cc : Tz.Cluster.t) (cd : Tz.Cluster.t) ->
+            if cc.Tz.Cluster.owner <> cd.Tz.Cluster.owner then
+              err "cluster order: distributed owner %d, centralized %d"
+                cd.Tz.Cluster.owner cc.Tz.Cluster.owner
+            else if cd.Tz.Cluster.dist <> cc.Tz.Cluster.dist then
+              err "cluster of %d: member/distance lists differ"
+                cc.Tz.Cluster.owner)
+          dc dd;
+      (c.Scheme.Exact_stage.dist, c.Scheme.Exact_stage.pivots)
+    | Sampled _ -> Scheme.Exact_stage.distances g ~k ~levels
+  in
   for i = 0 to ih do
     for v = 0 to n - 1 do
-      if c.Scheme.Exact_stage.dist.(i).(v) <> ex.Scheme.Exact_stage.dist.(i).(v)
-      then
+      if cdist.(i).(v) <> ex.Scheme.Exact_stage.dist.(i).(v) then
         err "d(v%d, A_%d): distributed %h, centralized %h" v i
-          ex.Scheme.Exact_stage.dist.(i).(v) c.Scheme.Exact_stage.dist.(i).(v);
-      if
-        c.Scheme.Exact_stage.pivots.(i).(v)
-        <> ex.Scheme.Exact_stage.pivots.(i).(v)
-      then
+          ex.Scheme.Exact_stage.dist.(i).(v) cdist.(i).(v);
+      if cpivots.(i).(v) <> ex.Scheme.Exact_stage.pivots.(i).(v) then
         err "pivot_%d(v%d): distributed %d, centralized %d" i v
-          ex.Scheme.Exact_stage.pivots.(i).(v)
-          c.Scheme.Exact_stage.pivots.(i).(v)
+          ex.Scheme.Exact_stage.pivots.(i).(v) cpivots.(i).(v)
     done
   done;
-  let dc = c.Scheme.Exact_stage.clusters
-  and dd = ex.Scheme.Exact_stage.clusters in
-  if List.length dc <> List.length dd then
-    err "cluster count: distributed %d, centralized %d" (List.length dd)
-      (List.length dc)
-  else
-    List.iter2
-      (fun (cc : Tz.Cluster.t) (cd : Tz.Cluster.t) ->
-        if cc.Tz.Cluster.owner <> cd.Tz.Cluster.owner then
-          err "cluster order: distributed owner %d, centralized %d"
-            cd.Tz.Cluster.owner cc.Tz.Cluster.owner
-        else if cd.Tz.Cluster.dist <> cc.Tz.Cluster.dist then
-          err "cluster of %d: member/distance lists differ" cc.Tz.Cluster.owner)
-      dc dd;
+  (match mode with
+  | Exact -> ()
+  | Sampled { sample; seed } ->
+    (* registration order (level ascending, owner ascending) follows from
+       levels alone, so the full owner sequence is still checked exactly;
+       only the bounded waves behind each member/distance list are
+       spot-checked *)
+    let expected_owners = ref [] in
+    for i = ih - 1 downto 0 do
+      for w = n - 1 downto 0 do
+        if levels.(w) = i then expected_owners := (i, w) :: !expected_owners
+      done
+    done;
+    let dd = Array.of_list ex.Scheme.Exact_stage.clusters in
+    let expected = Array.of_list !expected_owners in
+    if Array.length dd <> Array.length expected then
+      err "cluster count: distributed %d, centralized %d" (Array.length dd)
+        (Array.length expected)
+    else begin
+      Array.iteri
+        (fun ci (_, w) ->
+          if dd.(ci).Tz.Cluster.owner <> w then
+            err "cluster order: distributed owner %d, centralized %d"
+              dd.(ci).Tz.Cluster.owner w)
+        expected;
+      let srng = Random.State.make [| seed; n; k |] in
+      List.iter
+        (fun ci ->
+          let i, w = expected.(ci) in
+          if dd.(ci).Tz.Cluster.owner = w then begin
+            let cc =
+              Tz.Cluster.of_owner_bound g ~owner:w ~owner_level:i
+                ~bound:(fun v -> cdist.(i + 1).(v))
+            in
+            let sorted =
+              List.sort
+                (fun (a, _) (b, _) -> compare a b)
+                cc.Tz.Cluster.dist
+            in
+            if dd.(ci).Tz.Cluster.dist <> sorted then
+              err "cluster of %d: member/distance lists differ" w
+          end)
+        (sample_indices srng (Array.length expected) sample)
+    end);
+  (* member set A_ih follows from levels — always checked exactly *)
+  let expected_members = ref [] in
+  for v = n - 1 downto 0 do
+    if levels.(v) >= ih then expected_members := v :: !expected_members
+  done;
+  if o.members <> !expected_members then
+    err "virtual member set: distributed %d members, centralized %d"
+      (List.length o.members)
+      (List.length !expected_members);
   let vg = Hopsets.Virtual_graph.make g ~members:o.members ~b:o.b in
   let row v' = List.assoc v' o.virtual_rows in
-  List.iter
-    (fun u' ->
-      let ef = Hopsets.Virtual_graph.edges_from vg u' in
-      let col =
-        List.filter_map
-          (fun v' ->
-            if v' = u' then None
-            else
-              match List.assoc_opt u' (row v') with
-              | Some d -> Some (v', d)
-              | None -> None)
-          o.members
-      in
-      if col <> ef then
-        err "virtual row of %d: wave deposits differ from edges_from" u')
-    o.members;
+  let check_virtual_row u' =
+    let ef = Hopsets.Virtual_graph.edges_from vg u' in
+    let col =
+      List.filter_map
+        (fun v' ->
+          if v' = u' then None
+          else
+            match List.assoc_opt u' (row v') with
+            | Some d -> Some (v', d)
+            | None -> None)
+        o.members
+    in
+    if col <> ef then
+      err "virtual row of %d: wave deposits differ from edges_from" u'
+  in
+  (match mode with
+  | Exact -> List.iter check_virtual_row o.members
+  | Sampled { sample; seed } ->
+    (* each [edges_from] is a B-hop Bellman–Ford over the host graph — the
+       other per-member blocker worth sampling *)
+    let ms = Array.of_list o.members in
+    let srng = Random.State.make [| seed + 1; n; k |] in
+    List.iter
+      (fun i -> check_virtual_row ms.(i))
+      (sample_indices srng (Array.length ms) sample));
   List.rev !errs
 
 let build_scheme ~rng ?(params = Scheme.Params.default) ?trace g (o : outcome) =

@@ -108,14 +108,44 @@ val run :
     (see {!Congest.Sim.Make.run}); the outcome is bit-identical to a
     single-domain run. *)
 
+type gate_mode =
+  | Exact
+  | Sampled of { sample : int; seed : int }
+      (** spot-check [sample] clusters and [sample] virtual rows,
+          seed-deterministically chosen *)
+
+val gate_threshold : int
+(** Vertex count above which {!auto_gate_mode} switches to sampling. *)
+
+val auto_gate_mode : ?sample:int -> int -> gate_mode
+(** [auto_gate_mode n]: [Exact] for [n <= gate_threshold], else
+    [Sampled] with [?sample] (default 256) and a fixed seed — the policy
+    the CLI and benches apply. *)
+
+val gate_mode_name : gate_mode -> string
+(** ["exact"] or ["sampled(sample=…,seed=…)"] — log this next to the gate
+    verdict so a sampled pass is never mistaken for an exact one. *)
+
 val check_against_centralized :
-  rng:Random.State.t -> Dgraph.Graph.t -> outcome -> string list
+  rng:Random.State.t ->
+  ?mode:gate_mode ->
+  Dgraph.Graph.t ->
+  outcome ->
+  string list
 (** The differential gate. Re-samples levels from [rng] (pass a state
     seeded exactly like [run]'s) and recomputes the exact stage centrally
     ({!Scheme.Exact_stage.compute}, {!Hopsets.Virtual_graph.edges_from});
     returns one human-readable line per divergence — levels, per-level
     distances and pivot attributions, cluster member sets and distances,
-    and every virtual row, all compared bit-for-bit. Empty = identical. *)
+    and every virtual row, all compared bit-for-bit. Empty = identical.
+
+    [?mode] (default [Exact]) controls the per-cluster / per-virtual-row
+    half, whose bounded waves cost a Dijkstra-like pass {e each} — the
+    O(n·m)-ish blocker at large [n]. [Sampled] keeps levels, every
+    per-level distance/pivot ({!Scheme.Exact_stage.distances}), the full
+    cluster registration order and the member set exactly checked, and
+    recomputes only the sampled clusters' member/distance lists and the
+    sampled members' virtual rows. *)
 
 val build_scheme :
   rng:Random.State.t ->

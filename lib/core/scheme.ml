@@ -127,11 +127,15 @@ module Exact_stage = struct
       (int_of_float
          (ceil (4.0 *. (nf ** (float_of_int ih /. float_of_int k)) *. log nf)))
 
-  let compute g ~k ~levels =
-    if k < 2 then invalid_arg "Scheme.Exact_stage.compute: k >= 2 required";
+  (* The cheap half of [compute]: one lex multi-source Dijkstra per level.
+     Exposed separately so the sampled differential gate can verify every
+     per-level distance/pivot exactly while only spot-checking the clusters
+     (whose bounded waves are the O(n · Dijkstra) part). *)
+  let distances g ~k ~levels =
+    if k < 2 then invalid_arg "Scheme.Exact_stage.distances: k >= 2 required";
     let n = Graph.n g in
     if Array.length levels <> n then
-      invalid_arg "Scheme.Exact_stage.compute: levels length <> n";
+      invalid_arg "Scheme.Exact_stage.distances: levels length <> n";
     let ih = max 1 (k / 2) in
     let dist = Array.make (ih + 1) [||] and pivots = Array.make (ih + 1) [||] in
     for i = 0 to ih do
@@ -149,6 +153,15 @@ module Exact_stage = struct
         pivots.(i) <- s
       end
     done;
+    (dist, pivots)
+
+  let compute g ~k ~levels =
+    if k < 2 then invalid_arg "Scheme.Exact_stage.compute: k >= 2 required";
+    let n = Graph.n g in
+    if Array.length levels <> n then
+      invalid_arg "Scheme.Exact_stage.compute: levels length <> n";
+    let ih = max 1 (k / 2) in
+    let dist, pivots = distances g ~k ~levels in
     let clusters = ref [] and phases = ref Cost.empty in
     for i = 0 to ih - 1 do
       let owners = ref [] in

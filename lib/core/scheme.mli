@@ -89,6 +89,17 @@ module Exact_stage : sig
   (** The paper's virtual-edge hop bound [B = min (n-1) ⌈4·n^{⌈k/2⌉/k}·ln n⌉]
       — the default {!Params.t.b} resolution, shared with [Dist_scheme]. *)
 
+  val distances :
+    Dgraph.Graph.t ->
+    k:int ->
+    levels:int array ->
+    float array array * int array array
+  (** The cheap half of {!compute}: [(dist, pivots)] from one lex
+      multi-source Dijkstra per level [0..ih], without growing any cluster.
+      The sampled differential gate uses it to keep every per-level
+      distance and attribution exactly checked at sizes where recomputing
+      all [n] bounded cluster waves is infeasible. *)
+
   val compute : Dgraph.Graph.t -> k:int -> levels:int array -> t
   (** Centralized reference: per-level lex multi-source Dijkstra
       ({!Dgraph.Sssp.dijkstra_sources}) plus bounded truncated Dijkstra

@@ -132,80 +132,115 @@ let words t =
   + Array.length t.light_off
   + (2 * Array.length t.light_me)
 
+(* Binary search for [owner] in [tab_owner.(lo, hi)). A closed top-level
+   recursion (all state in arguments): without flambda, a nested [let rec]
+   or [ref]-driven loop allocates a closure/cell per call, and this runs
+   once per forwarding hop — the hot path must stay allocation-free. *)
+let rec bsearch_owner tab_owner owner lo hi =
+  if lo >= hi then -1
+  else begin
+    let mid = (lo + hi) lsr 1 in
+    let o = Array.unsafe_get tab_owner mid in
+    if o = owner then mid
+    else if o < owner then bsearch_owner tab_owner owner (mid + 1) hi
+    else bsearch_owner tab_owner owner lo mid
+  end
+
 (* index of [owner] in v's table slice, or -1 *)
 let find_table t v owner =
-  let lo = ref t.tab_off.(v) and hi = ref t.tab_off.(v + 1) in
-  let res = ref (-1) in
-  while !lo < !hi do
-    let mid = (!lo + !hi) lsr 1 in
-    let o = t.tab_owner.(mid) in
-    if o = owner then begin
-      res := mid;
-      lo := !hi
-    end
-    else if o < owner then lo := mid + 1
-    else hi := mid
-  done;
-  !res
+  bsearch_owner t.tab_owner owner t.tab_off.(v) t.tab_off.(v + 1)
 
 let buffer t = Array.make ((4 * t.n) + 2) (-1)
 
-let route_into t ~buf ~src ~dst =
-  if src < 0 || src >= t.n then Error (Tz.Routing_error.Bad_vertex src)
-  else if dst < 0 || dst >= t.n then Error (Tz.Routing_error.Bad_vertex dst)
+(* Error codes of [route_len]; payloads land in [buf.(0)] / [buf.(1)]. The
+   hot path returns a bare int so a forwarding loop allocates nothing even
+   on failed queries ([Ok]/[Error] would box one block per query). *)
+let err_unreachable = -1
+let err_bad_vertex = -2 (* buf.(0) = offending endpoint *)
+let err_bad_port = -3 (* buf.(0) = forwarded-to id *)
+let err_no_table = -4 (* buf.(0) = vertex, buf.(1) = owner *)
+let err_ttl = -5 (* buf.(0) = step budget *)
+
+(* first label entry in [e, e1) whose cluster also contains the source *)
+let rec pick_entry t src e e1 =
+  if e >= e1 then -1
+  else if find_table t src t.lab_owner.(e) >= 0 then e
+  else pick_entry t src (e + 1) e1
+
+(* port choice at a light vertex: first (me, child) pair matching v in the
+   label's light slice [i, l1), else the table's heavy child *)
+let rec light_child t v i l1 ti =
+  if i >= l1 then t.tab_heavy.(ti)
+  else if t.light_me.(i) = v then t.light_child.(i)
+  else light_child t v (i + 1) l1 ti
+
+let rec walk t buf owner tentry l0 l1 limit v len steps =
+  if steps > limit then begin
+    buf.(0) <- limit;
+    err_ttl
+  end
+  else
+    match find_table t v owner with
+    | -1 ->
+      buf.(0) <- v;
+      buf.(1) <- owner;
+      err_no_table
+    | ti ->
+      if tentry = t.tab_entry.(ti) then begin
+        buf.(len) <- v;
+        len + 1
+      end
+      else begin
+        let next =
+          if tentry < t.tab_entry.(ti) || tentry > t.tab_exit.(ti) then
+            t.tab_parent.(ti)
+          else light_child t v l0 l1 ti
+        in
+        if next < 0 || next >= t.n then begin
+          buf.(0) <- next;
+          err_bad_port
+        end
+        else begin
+          buf.(len) <- v;
+          walk t buf owner tentry l0 l1 limit next (len + 1) (steps + 1)
+        end
+      end
+
+let route_len t ~buf ~src ~dst =
+  if src < 0 || src >= t.n then begin
+    buf.(0) <- src;
+    err_bad_vertex
+  end
+  else if dst < 0 || dst >= t.n then begin
+    buf.(0) <- dst;
+    err_bad_vertex
+  end
   else if src = dst then begin
     buf.(0) <- src;
-    Ok 1
+    1
   end
   else begin
-    (* first label entry whose cluster also contains the source *)
-    let e1 = t.lab_off.(dst + 1) in
-    let rec pick e =
-      if e >= e1 then -1
-      else if find_table t src t.lab_owner.(e) >= 0 then e
-      else pick (e + 1)
-    in
-    let e = pick t.lab_off.(dst) in
-    if e < 0 then Error Tz.Routing_error.Unreachable
-    else begin
-      let owner = t.lab_owner.(e) in
-      let tentry = t.lab_target_entry.(e) in
-      let l0 = t.light_off.(e) and l1 = t.light_off.(e + 1) in
-      let limit = 4 * t.n in
-      let rec go v len steps =
-        if steps > limit then Error (Tz.Routing_error.Ttl_exceeded limit)
-        else
-          match find_table t v owner with
-          | -1 -> Error (Tz.Routing_error.No_table { vertex = v; owner })
-          | ti ->
-            if tentry = t.tab_entry.(ti) then begin
-              buf.(len) <- v;
-              Ok (len + 1)
-            end
-            else begin
-              let next =
-                if tentry < t.tab_entry.(ti) || tentry > t.tab_exit.(ti) then
-                  t.tab_parent.(ti)
-                else begin
-                  let rec light i =
-                    if i >= l1 then t.tab_heavy.(ti)
-                    else if t.light_me.(i) = v then t.light_child.(i)
-                    else light (i + 1)
-                  in
-                  light l0
-                end
-              in
-              if next < 0 || next >= t.n then
-                Error (Tz.Routing_error.Bad_port next)
-              else begin
-                buf.(len) <- v;
-                go next (len + 1) (steps + 1)
-              end
-            end
-      in
-      go src 0 0
-    end
+    let e = pick_entry t src t.lab_off.(dst) t.lab_off.(dst + 1) in
+    if e < 0 then err_unreachable
+    else
+      walk t buf t.lab_owner.(e) t.lab_target_entry.(e) t.light_off.(e)
+        t.light_off.(e + 1) (4 * t.n) src 0 0
   end
+
+let error_of_code t ~buf code =
+  if code = err_unreachable then Tz.Routing_error.Unreachable
+  else if code = err_bad_vertex then Tz.Routing_error.Bad_vertex buf.(0)
+  else if code = err_bad_port then Tz.Routing_error.Bad_port buf.(0)
+  else if code = err_no_table then
+    Tz.Routing_error.No_table { vertex = buf.(0); owner = buf.(1) }
+  else if code = err_ttl then Tz.Routing_error.Ttl_exceeded buf.(0)
+  else
+    invalid_arg
+      (Printf.sprintf "Packed_router.error_of_code: %d (n=%d)" code t.n)
+
+let route_into t ~buf ~src ~dst =
+  let len = route_len t ~buf ~src ~dst in
+  if len >= 1 then Ok len else Error (error_of_code t ~buf len)
 
 let route t ~src ~dst =
   let buf = buffer t in

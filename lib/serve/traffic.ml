@@ -1,21 +1,34 @@
 (* Synthetic traffic matrices for the serving plane.
 
-   Three adversity levels, all seed-deterministic:
+   Five adversity levels, all seed-deterministic:
    - Uniform: independent random pairs, the classic average-case matrix.
    - Zipf: "millions of users, few hot services" — sources uniform,
      destinations drawn from a Zipf(s) law over a random popularity
      permutation (CDF precomputed once, sampled by binary search).
+   - Gravity: the telecom/WAN matrix — P(s, d) ∝ w_s · w_d with power-law
+     vertex masses, so *both* endpoints concentrate on popular vertices
+     (drawn independently from the same precomputed CDF).
+   - Bimodal: a two-class mix — with probability p a query stays inside a
+     small hot clique (the "chatty core"), otherwise it is uniform
+     background, putting sustained pairwise pressure on a few routes.
    - Far_pairs: adversarial — a small set of random sources each targeting
      its farthest reachable vertices (one Dijkstra per source at
      generation time), maximizing hop counts and shared-edge pressure. *)
 
 open Dgraph
 
-type model = Uniform | Zipf of float | Far_pairs
+type model =
+  | Uniform
+  | Zipf of float
+  | Gravity of float
+  | Bimodal of float * float
+  | Far_pairs
 
 let name = function
   | Uniform -> "uniform"
   | Zipf _ -> "zipf"
+  | Gravity _ -> "gravity"
+  | Bimodal _ -> "bimodal"
   | Far_pairs -> "far"
 
 let shuffle rng a =
@@ -37,6 +50,31 @@ let uniform_pair rng n =
     (s, !d)
   end
 
+(* Power-law popularity over a random permutation: rank r (0-based) has
+   mass 1/(r+1)^s; returns the permutation and a CDF sampler (binary
+   search over the precomputed prefix sums). The shared machinery behind
+   Zipf, Gravity and any future skewed matrix. *)
+let power_cdf rng n s =
+  let perm = Array.init n Fun.id in
+  shuffle rng perm;
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for r = 0 to n - 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int (r + 1)) s);
+    cdf.(r) <- !acc
+  done;
+  let total = !acc in
+  let draw_rank x =
+    (* smallest r with cdf.(r) >= x *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) lsr 1 in
+      if cdf.(mid) >= x then hi := mid else lo := mid + 1
+    done;
+    !lo
+  in
+  (perm, total, draw_rank)
+
 let generate ~rng model g ~queries =
   let n = Graph.n g in
   if n = 0 || queries <= 0 then [||]
@@ -44,31 +82,54 @@ let generate ~rng model g ~queries =
     match model with
     | Uniform -> Array.init queries (fun _ -> uniform_pair rng n)
     | Zipf s ->
-      (* popularity rank r (0-based) has mass 1/(r+1)^s *)
-      let perm = Array.init n Fun.id in
-      shuffle rng perm;
-      let cdf = Array.make n 0.0 in
-      let acc = ref 0.0 in
-      for r = 0 to n - 1 do
-        acc := !acc +. (1.0 /. Float.pow (float_of_int (r + 1)) s);
-        cdf.(r) <- !acc
-      done;
-      let total = !acc in
-      let draw_rank x =
-        (* smallest r with cdf.(r) >= x *)
-        let lo = ref 0 and hi = ref (n - 1) in
-        while !lo < !hi do
-          let mid = (!lo + !hi) lsr 1 in
-          if cdf.(mid) >= x then hi := mid else lo := mid + 1
-        done;
-        !lo
-      in
+      let perm, total, draw_rank = power_cdf rng n s in
       Array.init queries (fun _ ->
           let src = Random.State.int rng n in
           let r = draw_rank (Random.State.float rng total) in
           let dst = perm.(r) in
           let dst = if dst = src && n > 1 then perm.((r + 1) mod n) else dst in
           (src, dst))
+    | Gravity a ->
+      (* both endpoints drawn from the same power-law masses, so the pair
+         probability factorizes as w_src * w_dst *)
+      let perm, total, draw_rank = power_cdf rng n a in
+      Array.init queries (fun _ ->
+          let src = perm.(draw_rank (Random.State.float rng total)) in
+          if n = 1 then (src, src)
+          else begin
+            let r = ref (draw_rank (Random.State.float rng total)) in
+            while perm.(!r) = src do
+              r := draw_rank (Random.State.float rng total)
+            done;
+            (src, perm.(!r))
+          end)
+    | Bimodal (hot_frac, hot_prob) ->
+      (* a hot clique of ceil(hot_frac * n) vertices exchanges hot_prob of
+         the matrix among itself; the rest is uniform background *)
+      let perm = Array.init n Fun.id in
+      shuffle rng perm;
+      let hn = max 1 (min n (int_of_float (ceil (hot_frac *. float_of_int n)))) in
+      Array.init queries (fun _ ->
+          if Random.State.float rng 1.0 < hot_prob then begin
+            let s = perm.(Random.State.int rng hn) in
+            if n = 1 then (s, s)
+            else if hn = 1 then begin
+              (* degenerate one-vertex hot set: fan out uniformly from it *)
+              let d = ref (Random.State.int rng n) in
+              while !d = s do
+                d := Random.State.int rng n
+              done;
+              (s, !d)
+            end
+            else begin
+              let d = ref (perm.(Random.State.int rng hn)) in
+              while !d = s do
+                d := perm.(Random.State.int rng hn)
+              done;
+              (s, !d)
+            end
+          end
+          else uniform_pair rng n)
     | Far_pairs ->
       let sources = min n 64 in
       let srcs = Array.init n Fun.id in

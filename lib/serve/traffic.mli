@@ -4,14 +4,25 @@
     [Uniform] draws independent random pairs. [Zipf s] keeps sources
     uniform but draws destinations from a Zipf([s]) popularity law over a
     random permutation — the "millions of users hitting few hot services"
-    matrix. [Far_pairs] is adversarial: a small set of random sources each
-    target their farthest reachable vertices (one Dijkstra per source at
-    generation time), maximizing hops and shared-edge pressure. *)
+    matrix. [Gravity a] draws {e both} endpoints from the same power-law
+    masses, so P(s, d) ∝ w_s · w_d concentrates whole pairs on popular
+    vertices — the classic telecom/WAN matrix. [Bimodal (hot_frac, p)]
+    keeps a hot clique of ⌈hot_frac · n⌉ vertices that exchanges fraction
+    [p] of the matrix among itself over uniform background. [Far_pairs] is
+    adversarial: a small set of random sources each target their farthest
+    reachable vertices (one Dijkstra per source at generation time),
+    maximizing hops and shared-edge pressure. *)
 
-type model = Uniform | Zipf of float  (** skew exponent, typically ~1 *) | Far_pairs
+type model =
+  | Uniform
+  | Zipf of float  (** skew exponent, typically ~1 *)
+  | Gravity of float  (** vertex-mass exponent, typically ~1 *)
+  | Bimodal of float * float  (** hot-set fraction of [n], hot probability *)
+  | Far_pairs
 
 val name : model -> string
-(** ["uniform"], ["zipf"], ["far"] — used in JSON rows and trace spans. *)
+(** ["uniform"], ["zipf"], ["gravity"], ["bimodal"], ["far"] — used in
+    JSON rows and trace spans. *)
 
 val generate :
   rng:Random.State.t ->
@@ -20,6 +31,6 @@ val generate :
   queries:int ->
   (int * int) array
 (** [queries] (src, dst) pairs. On graphs with [n > 1], [src ≠ dst] for
-    uniform and far-pairs; Zipf avoids self-pairs where the permutation
-    allows. Pairs may span components (the engine counts such routes as
-    failed). *)
+    uniform, bimodal, gravity and far-pairs; Zipf avoids self-pairs where
+    the permutation allows. Pairs may span components (the engine counts
+    such routes as failed). *)

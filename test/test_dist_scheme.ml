@@ -68,6 +68,34 @@ let test_gate_small_b () =
   let g = Gen.grid ~rng:(rng 5) ~rows:7 ~cols:7 () in
   ignore (run_gate ~seed:15 ~k:4 ~b:3 g)
 
+let test_gate_sampled_agrees_with_exact () =
+  (* the sampled gate keeps dist/pivots/owner-sequence/member-set exact and
+     only samples cluster waves and virtual rows; on a graph where the exact
+     gate passes, every sample size must pass too *)
+  let g =
+    Gen.connected_erdos_renyi ~rng:(rng 30)
+      ~weights:(Gen.uniform_weights 1.0 4.0) ~n:120 ~avg_deg:4.0 ()
+  in
+  let o = run_gate ~seed:31 ~k:4 g in
+  List.iter
+    (fun sample ->
+      let mode = Routing.Dist_scheme.Sampled { sample; seed = 0x5eed } in
+      let errs =
+        Routing.Dist_scheme.check_against_centralized ~rng:(rng 31) ~mode g o
+      in
+      if errs <> [] then
+        Alcotest.failf "%s: %d divergences: %s"
+          (Routing.Dist_scheme.gate_mode_name mode)
+          (List.length errs) (concat_take 5 errs))
+    [ 1; 8; 1000 (* > population: degenerates to exhaustive *) ];
+  (* threshold dispatch: small n stays exact, big n samples *)
+  (match Routing.Dist_scheme.auto_gate_mode (Graph.n g) with
+  | Routing.Dist_scheme.Exact -> ()
+  | m -> Alcotest.failf "auto mode for n=120: %s" (Routing.Dist_scheme.gate_mode_name m));
+  match Routing.Dist_scheme.auto_gate_mode (Routing.Dist_scheme.gate_threshold + 1) with
+  | Routing.Dist_scheme.Sampled _ -> ()
+  | m -> Alcotest.failf "auto mode above threshold: %s" (Routing.Dist_scheme.gate_mode_name m)
+
 (* ---------- transports ---------- *)
 
 let test_reliable_matches_raw () =
@@ -297,6 +325,8 @@ let () =
           Alcotest.test_case "torus k=3" `Quick test_gate_torus;
           Alcotest.test_case "k=2 minimal" `Quick test_gate_k2;
           Alcotest.test_case "small b truncation" `Quick test_gate_small_b;
+          Alcotest.test_case "sampled gate agrees with exact" `Quick
+            test_gate_sampled_agrees_with_exact;
         ] );
       ( "transports",
         [

@@ -86,7 +86,14 @@ let test_route_into_matches_route () =
 
 (* ---------- engine accounting invariants ---------- *)
 
-let models = [ Serve.Traffic.Uniform; Serve.Traffic.Zipf 1.1; Serve.Traffic.Far_pairs ]
+let models =
+  [
+    Serve.Traffic.Uniform;
+    Serve.Traffic.Zipf 1.1;
+    Serve.Traffic.Gravity 1.0;
+    Serve.Traffic.Bimodal (0.1, 0.7);
+    Serve.Traffic.Far_pairs;
+  ]
 
 let test_engine_conservation () =
   let g = Gen.torus ~rng:(rng 7) ~rows:8 ~cols:8 () in
@@ -141,6 +148,125 @@ let test_engine_deterministic () =
   Alcotest.(check (float 0.0)) "stretch avg" a.Serve.Engine.stretch_avg
     b.Serve.Engine.stretch_avg
 
+(* ---------- sharded engine: bit-identity, errors, allocation ---------- *)
+
+(* every deterministic field of [stats]: timings and cache counters are the
+   only things allowed to differ across domain counts. [compare] (not [=])
+   so NaN stretch fields of an all-failed run still match themselves. *)
+let fingerprint (st : Serve.Engine.stats) =
+  ( (st.Serve.Engine.delivered, st.Serve.Engine.failed, st.Serve.Engine.errors),
+    ( st.Serve.Engine.queries,
+      st.Serve.Engine.sources,
+      Congest.Histogram.buckets st.Serve.Engine.hops,
+      Congest.Histogram.buckets st.Serve.Engine.load,
+      Congest.Histogram.buckets st.Serve.Engine.base_load ),
+    ( st.Serve.Engine.stretch_p50,
+      st.Serve.Engine.stretch_p95,
+      st.Serve.Engine.stretch_max,
+      st.Serve.Engine.stretch_avg ),
+    (st.Serve.Engine.max_load, st.Serve.Engine.base_max_load) )
+
+let test_sharded_bit_identity () =
+  (* domains ∈ {2,3,4} vs the sequential engine, across topologies × seeds
+     × models; the sharded runs share one sp_cache while the baseline runs
+     without one, so the sweep also proves the cache never shows in any
+     statistic *)
+  List.iter
+    (fun (tname, mk) ->
+      List.iter
+        (fun seed ->
+          let g = mk seed in
+          let gr, _ = build ~seed:(300 + seed) ~k:3 g in
+          let packed = Serve.Packed_router.of_graph_routing gr in
+          let cache = Serve.Engine.sp_cache g in
+          List.iter
+            (fun model ->
+              let queries =
+                Serve.Traffic.generate ~rng:(rng (400 + seed)) model g
+                  ~queries:600
+              in
+              let st1 = Serve.Engine.run ~domains:1 g packed queries in
+              let fp1 = fingerprint st1 in
+              List.iter
+                (fun domains ->
+                  let st = Serve.Engine.run ~domains ~cache g packed queries in
+                  if compare (fingerprint st) fp1 <> 0 then
+                    Alcotest.failf "%s seed %d %s: domains=%d diverged from 1"
+                      tname seed (Serve.Traffic.name model) domains;
+                  Alcotest.(check int)
+                    "every distinct source solved or cached"
+                    st.Serve.Engine.sources
+                    (st.Serve.Engine.sp_hits + st.Serve.Engine.sp_misses))
+                [ 2; 3; 4 ])
+            models)
+        [ 1; 2 ])
+    topologies
+
+let test_sharded_failed_queries () =
+  (* a sparse G(n,m) is disconnected: cross-component queries must come
+     back as typed unreachable errors, identically at every domain count *)
+  let g = Gen.gnm ~rng:(rng 31) ~n:60 ~m:45 () in
+  let gr, _ = build ~seed:32 ~k:2 g in
+  let packed = Serve.Packed_router.of_graph_routing gr in
+  let queries =
+    Serve.Traffic.generate ~rng:(rng 33) Serve.Traffic.Uniform g ~queries:800
+  in
+  let st1 = Serve.Engine.run ~domains:1 g packed queries in
+  if st1.Serve.Engine.failed = 0 then
+    Alcotest.fail "expected cross-component failures on a disconnected graph";
+  (match st1.Serve.Engine.errors with
+  | [ ("unreachable", c) ] ->
+    Alcotest.(check int) "all failures typed unreachable" st1.Serve.Engine.failed c
+  | other ->
+    Alcotest.failf "unexpected error kinds: %s"
+      (String.concat "," (List.map fst other)));
+  List.iter
+    (fun domains ->
+      let st = Serve.Engine.run ~domains g packed queries in
+      if compare (fingerprint st) (fingerprint st1) <> 0 then
+        Alcotest.failf "failed-query run diverged at domains=%d" domains)
+    [ 2; 3; 4 ]
+
+let test_forward_allocation_free () =
+  (* the Gc-bracketed forwarding loops must allocate nothing at any domain
+     count — the bracket itself boxes one float per domain, so allow a few
+     words each, far below one word per query *)
+  let g = Gen.grid ~rng:(rng 35) ~rows:9 ~cols:9 () in
+  let gr, _ = build ~seed:36 ~k:3 g in
+  let packed = Serve.Packed_router.of_graph_routing gr in
+  let queries =
+    Serve.Traffic.generate ~rng:(rng 37) (Serve.Traffic.Zipf 1.1) g
+      ~queries:4_000
+  in
+  List.iter
+    (fun domains ->
+      let f = Serve.Engine.forward ~domains g packed queries in
+      let budget = 2048.0 *. float_of_int f.Serve.Engine.fwd_domains in
+      if f.Serve.Engine.fwd_loop_alloc_bytes > budget then
+        Alcotest.failf
+          "forwarding loop allocated %.0f bytes at domains=%d (budget %.0f)"
+          f.Serve.Engine.fwd_loop_alloc_bytes domains budget)
+    [ 1; 2 ]
+
+let prop_sharded_identity =
+  QCheck.Test.make ~count:25
+    ~name:"sharded engine bit-identical to sequential (random seed/domains)"
+    QCheck.(triple (int_range 0 1000) (int_range 2 4) (int_range 0 4))
+    (fun (seed, domains, mi) ->
+      let g =
+        Gen.connected_erdos_renyi ~rng:(rng seed)
+          ~weights:(Gen.uniform_weights 1.0 2.0) ~n:50 ~avg_deg:3.0 ()
+      in
+      let gr, _ = build ~seed:(seed + 1) ~k:2 g in
+      let packed = Serve.Packed_router.of_graph_routing gr in
+      let model = List.nth models mi in
+      let queries =
+        Serve.Traffic.generate ~rng:(rng (seed + 2)) model g ~queries:300
+      in
+      let st1 = Serve.Engine.run ~domains:1 g packed queries in
+      let st = Serve.Engine.run ~domains g packed queries in
+      compare (fingerprint st) (fingerprint st1) = 0)
+
 (* ---------- traffic generators ---------- *)
 
 let test_traffic_deterministic () =
@@ -177,6 +303,49 @@ let test_zipf_concentration () =
   if hottest < 10 * uniform_share then
     Alcotest.failf "hottest destination got %d queries, uniform share is %d"
       hottest uniform_share
+
+let test_gravity_concentrates_both_endpoints () =
+  (* P(s,d) ∝ w_s · w_d: unlike Zipf (sources uniform), the hottest SOURCE
+     must also absorb far more than a uniform share *)
+  let g = Gen.grid ~rng:(rng 23) ~rows:20 ~cols:20 () in
+  let n = Graph.n g in
+  let queries = 4_000 in
+  let pairs =
+    Serve.Traffic.generate ~rng:(rng 24) (Serve.Traffic.Gravity 1.2) g ~queries
+  in
+  let sfreq = Array.make n 0 and dfreq = Array.make n 0 in
+  Array.iter
+    (fun (s, d) ->
+      sfreq.(s) <- sfreq.(s) + 1;
+      dfreq.(d) <- dfreq.(d) + 1)
+    pairs;
+  let uniform_share = queries / n in
+  if Array.fold_left max 0 sfreq < 10 * uniform_share then
+    Alcotest.fail "hottest gravity source has a near-uniform share";
+  if Array.fold_left max 0 dfreq < 10 * uniform_share then
+    Alcotest.fail "hottest gravity destination has a near-uniform share"
+
+let test_bimodal_hot_clique () =
+  (* with (hot_frac, p) = (0.05, 0.8), the hottest ⌈0.05·n⌉ sources must
+     absorb close to the hot fraction of the matrix *)
+  let g = Gen.grid ~rng:(rng 25) ~rows:16 ~cols:16 () in
+  let n = Graph.n g in
+  let queries = 4_000 in
+  let pairs =
+    Serve.Traffic.generate ~rng:(rng 26)
+      (Serve.Traffic.Bimodal (0.05, 0.8))
+      g ~queries
+  in
+  let sfreq = Array.make n 0 in
+  Array.iter (fun (s, _) -> sfreq.(s) <- sfreq.(s) + 1) pairs;
+  Array.sort (fun a b -> compare b a) sfreq;
+  let hn = int_of_float (ceil (0.05 *. float_of_int n)) in
+  let top = ref 0 in
+  for i = 0 to hn - 1 do
+    top := !top + sfreq.(i)
+  done;
+  if float_of_int !top < 0.7 *. float_of_int queries then
+    Alcotest.failf "top %d sources hold only %d/%d queries" hn !top queries
 
 let test_far_pairs_are_far () =
   let g = Gen.grid ~rng:(rng 21) ~rows:10 ~cols:10 () in
@@ -225,12 +394,27 @@ let () =
           Alcotest.test_case "deterministic given the matrix" `Quick
             test_engine_deterministic;
         ] );
+      ( "sharding",
+        [
+          Alcotest.test_case
+            "bit-identical across domains x topologies x models" `Quick
+            test_sharded_bit_identity;
+          Alcotest.test_case "typed errors identical across domains" `Quick
+            test_sharded_failed_queries;
+          Alcotest.test_case "forwarding loop allocation-free" `Quick
+            test_forward_allocation_free;
+          QCheck_alcotest.to_alcotest ~long:false prop_sharded_identity;
+        ] );
       ( "traffic",
         [
           Alcotest.test_case "deterministic per seed, no self pairs" `Quick
             test_traffic_deterministic;
           Alcotest.test_case "zipf concentrates destinations" `Quick
             test_zipf_concentration;
+          Alcotest.test_case "gravity concentrates both endpoints" `Quick
+            test_gravity_concentrates_both_endpoints;
+          Alcotest.test_case "bimodal keeps a hot clique" `Quick
+            test_bimodal_hot_clique;
           Alcotest.test_case "far pairs beat uniform distance" `Quick
             test_far_pairs_are_far;
         ] );
