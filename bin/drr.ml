@@ -449,7 +449,176 @@ let dist_scheme_cmd =
       & info [ "no-check" ]
           ~doc:"Skip the differential gate against the centralized exact stage.")
   in
-  let run seed n k topology b faults reliable rounds_limit domains no_check json =
+  let full_t =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:
+            "Run the complete distributed pipeline: exact stage, hopset \
+             construction and approximate Bellman-Ford (Dist_hopset), then \
+             splice the measured upper stage into the full routing scheme. \
+             Each protocol stage is gated against its centralized reference; \
+             any divergence exits 1 (in text and JSON modes alike).")
+  in
+  let run_full ~seed ~k ~b ~faults ~reliable ~rounds_limit ~domains ~no_check
+      ~json g =
+    let rng = Random.State.make [| seed; 6 |] in
+    if not json then begin
+      Format.printf
+        "executing the full Appendix B pipeline on %a with k=%d...@." Graph.pp
+        g k;
+      pp_fault_plan faults reliable
+    end;
+    let ds =
+      Routing.Dist_scheme.run ~rng ~k ?b ?faults ?reliable
+        ?max_rounds:rounds_limit ~domains g
+    in
+    let gate_mode = Routing.Dist_scheme.auto_gate_mode (Graph.n g) in
+    let ds_div =
+      if no_check || ds.Routing.Dist_scheme.failures <> [] then None
+      else
+        Some
+          (Routing.Dist_scheme.check_against_centralized
+             ~rng:(Random.State.make [| seed; 6 |])
+             ~mode:gate_mode g ds)
+    in
+    let rgate = Random.State.copy rng in
+    let o =
+      if ds.Routing.Dist_scheme.failures = [] then
+        Some
+          (Routing.Dist_hopset.run ~rng ?faults ?reliable
+             ?max_rounds:rounds_limit ~domains g ds)
+      else None
+    in
+    let dh_div =
+      match o with
+      | Some o when o.Routing.Dist_hopset.failures = [] && not no_check ->
+        Some
+          (Routing.Dist_hopset.check_against_centralized ~rng:rgate
+             ~mode:gate_mode g o)
+      | _ -> None
+    in
+    let scheme =
+      match o with
+      | Some o
+        when o.Routing.Dist_hopset.failures = []
+             && o.Routing.Dist_hopset.upper <> None ->
+        Some (Routing.Dist_hopset.build_scheme ~rng g ds o)
+      | _ -> None
+    in
+    let failures =
+      ds.Routing.Dist_scheme.failures
+      @ (match o with Some o -> o.Routing.Dist_hopset.failures | None -> [])
+    in
+    let phases =
+      ds.Routing.Dist_scheme.phase_rounds
+      @ (match o with Some o -> o.Routing.Dist_hopset.phase_rounds | None -> [])
+    in
+    let metrics =
+      match o with
+      | Some o ->
+        Congest.Metrics.merge ds.Routing.Dist_scheme.report
+          o.Routing.Dist_hopset.report
+      | None -> ds.Routing.Dist_scheme.report
+    in
+    let divergences =
+      Option.value ds_div ~default:[] @ Option.value dh_div ~default:[]
+    in
+    if json then begin
+      let open Congest.Export.Json in
+      print_endline
+        (to_string
+           (Obj
+              [
+                ("command", Str "dist-scheme");
+                ("full", Bool true);
+                ("n", Int (Graph.n g));
+                ("m", Int (Graph.m g));
+                ("k", Int k);
+                ("b", Int ds.Routing.Dist_scheme.b);
+                ( "virtual_size",
+                  Int (List.length ds.Routing.Dist_scheme.members) );
+                ( "hopset_size",
+                  match o with
+                  | Some { Routing.Dist_hopset.hopset = Some h; _ } ->
+                    Int (Hopsets.Hopset.size h)
+                  | _ -> Null );
+                ( "phases",
+                  Arr
+                    (List.map
+                       (fun (name, rounds) ->
+                         Obj [ ("name", Str name); ("rounds", Int rounds) ])
+                       phases) );
+                ("metrics", Congest.Export.metrics metrics);
+                ( "scheme_cost",
+                  match scheme with
+                  | Some s -> Routing.Cost.to_json (Routing.Scheme.cost s)
+                  | None -> Null );
+                ( "gate_mode",
+                  if no_check then Null
+                  else Str (Routing.Dist_scheme.gate_mode_name gate_mode) );
+                ("divergences", Arr (List.map (fun d -> Str d) divergences));
+                ( "failures",
+                  Arr
+                    (List.map
+                       (fun f -> Str (Routing.Dist_hopset.failure_to_string f))
+                       failures) );
+              ]));
+      if divergences <> [] then exit 1
+    end
+    else begin
+      (match failures with
+      | [] -> ()
+      | fs ->
+        Format.printf "PROTOCOL FAILURES:@.";
+        List.iter
+          (fun f -> Format.printf "  %a@." Routing.Dist_hopset.pp_failure f)
+          fs);
+      Format.printf "measured phase spans (|V'| = %d, B = %d):@."
+        (List.length ds.Routing.Dist_scheme.members)
+        ds.Routing.Dist_scheme.b;
+      List.iter
+        (fun (name, rounds) -> Format.printf "  %-34s %8d rounds@." name rounds)
+        phases;
+      Format.printf "rounds: %d@.messages: %d (%d words)@."
+        metrics.Congest.Metrics.rounds metrics.Congest.Metrics.messages
+        metrics.Congest.Metrics.message_words;
+      Format.printf "peak memory: %d words (avg %.1f), max edge load: %d@."
+        (Congest.Metrics.peak_memory_max metrics)
+        (Congest.Metrics.peak_memory_avg metrics)
+        metrics.Congest.Metrics.max_edge_load;
+      (match scheme with
+      | Some s ->
+        Format.printf
+          "spliced scheme: hopset %d edges, cost %d rounds (all measured \
+           construction spans)@."
+          (Routing.Scheme.hopset_size s)
+          (Routing.Cost.total_rounds (Routing.Scheme.cost s))
+      | None -> Format.printf "no scheme: pipeline stopped on failures@.");
+      if no_check || failures <> [] then
+        Format.printf "differential gates: skipped@."
+      else if divergences = [] then
+        Format.printf
+          "differential gates (%s): both stages identical to centralized@."
+          (Routing.Dist_scheme.gate_mode_name gate_mode)
+      else begin
+        Format.printf "differential gates (%s): %d DIVERGENCES@."
+          (Routing.Dist_scheme.gate_mode_name gate_mode)
+          (List.length divergences);
+        List.iteri
+          (fun i d -> if i < 10 then Format.printf "  %s@." d)
+          divergences;
+        exit 1
+      end
+    end
+  in
+  let run seed n k topology b faults reliable rounds_limit domains no_check full
+      json =
+    if full then
+      run_full ~seed ~k ~b ~faults ~reliable ~rounds_limit ~domains ~no_check
+        ~json
+        (make_graph ~seed ~n topology)
+    else begin
     let g = make_graph ~seed ~n topology in
     let rng = Random.State.make [| seed; 6 |] in
     if not json then begin
@@ -474,7 +643,7 @@ let dist_scheme_cmd =
              ~mode:gate_mode g out)
     in
     let m = out.Routing.Dist_scheme.report in
-    if json then
+    if json then begin
       let open Congest.Export.Json in
       print_endline
         (to_string
@@ -511,7 +680,11 @@ let dist_scheme_cmd =
                        (fun f -> Str (Routing.Dist_scheme.failure_to_string f))
                        out.Routing.Dist_scheme.failures)
                 );
-              ]))
+              ]));
+      match divergences with
+      | Some (_ :: _) -> exit 1
+      | _ -> ()
+    end
     else begin
       (match out.Routing.Dist_scheme.failures with
       | [] -> ()
@@ -552,16 +725,19 @@ let dist_scheme_cmd =
         List.iteri (fun i d -> if i < 10 then Format.printf "  %s@." d) ds;
         exit 1
     end
+    end
   in
   Cmd.v
     (Cmd.info "dist-scheme"
        ~doc:
          "Execute Appendix B's exact stage (pivot, cluster and virtual-edge \
           waves) as a CONGEST protocol and gate it against the centralized \
-          computation.")
+          computation; with $(b,--full), continue through the hopset \
+          construction and approximate Bellman-Ford and splice the measured \
+          upper stage into the full scheme.")
     Term.(
       const run $ seed_t $ n_t $ k_t $ topology_t $ b_t $ faults_t $ reliable_t
-      $ rounds_limit_t $ domains_t $ no_check_t $ json_t)
+      $ rounds_limit_t $ domains_t $ no_check_t $ full_t $ json_t)
 
 (* ---- churn ---- *)
 

@@ -1,0 +1,163 @@
+(** Appendix B's upper stage as a real CONGEST protocol.
+
+    {!Scheme.build_from_exact} computes the hopset construction and the
+    [β]-iteration approximate Bellman–Ford centrally and merely {e charges}
+    rounds through {!Cost}. This module executes that stage
+    message-by-message on the simulator — over either raw {!Congest.Sim} or
+    {!Congest.Reliable}, the protocol body written once against
+    {!Congest.Sim.TRANSPORT} — and returns a {!Scheme.Upper_stage.t} whose
+    [phases] carry the {e measured} rounds and per-vertex memory.
+    Stacked on [Dist_scheme] (the exact stage) and spliced back through
+    {!Scheme.build_from_exact}[ ?upper], the entire Appendix B construction
+    runs as messages, end to end.
+
+    Two transport runs share the superstep engine (BFS barrier tree,
+    Advance/Done/Next, delta offers, quiescence/budget phase ends, typed
+    watchdog failures — all exactly as in [Dist_scheme]):
+
+    + {e run A (construction)} computes the wave fixpoints the hopset edge
+      list is a pure function of ({!Hopsets.Construct.fields}): one
+      lexicographic [(dist, src)] wave per hopset level, then one truncated
+      wave per bunch level with all owners of that level concurrent (a
+      vertex forwards an owner's entry only while it lies under the
+      vertex's own level field — the superclustering pruning rule). The
+      harvested fields feed the {e shared}
+      {!Hopsets.Construct.assemble}, so the distributed edge list is
+      bit-identical to {!Hopsets.Construct.tz_hopset} whenever the fields
+      are;
+    + {e run B (approximation)} executes, per high level, [β] iterations of
+      {e [B]-budget host wave} then {e relay segment}: hopset-edge
+      endpoints launch their post-wave values along the stored host paths
+      (one hop per superstep, next-hop tables deposited from run A's edge
+      list), the far endpoint buffers proposals and commits them at the
+      barrier closing the segment by lex-min [(value, edge)] — a
+      distributed Jacobi step, bit-identical to [Hopset.run_core]'s
+      snapshot relaxation. Cluster phases append a {e recovery segment}
+      (backward trigger to the feeding endpoint, forward accumulating walk,
+      barrier commit by lex-min [(acc, prev)]) and a final [B]-budget
+      limited wave, mirroring {!Scheme.approx_cluster_candidates} clause
+      for clause.
+
+    Exactness notes: wave commits in run B are {e stamped} — within one
+    superstep an equal value from a smaller sender displaces (matching the
+    centralized iteration's ascending scan), across supersteps only strict
+    improvements commit. Every wave segment re-marks all entries dirty at
+    open (a fresh Bellman–Ford iteration relaxes every estimate, not just
+    the last superstep's commits). The differential gate
+    {!check_against_centralized} proves levels, level fields, bunch fields,
+    the assembled edge list, pivot estimates with attributions and every
+    cluster wave (candidate distances, parents, recovery joins)
+    bit-identical to the centralized computation. *)
+
+(** Same shape and rendering as {!Dist_scheme.failure}; both stages post
+    into one shared per-vertex fault table when composed by
+    {!build_full}. *)
+type failure = Dist_scheme.failure =
+  | Setup_timeout of { vertex : int; round : int }
+  | Stalled of { vertex : int; round : int; phase : string; superstep : int }
+  | Link_lost of { vertex : int; neighbor : int; reason : string }
+  | Harvest of { vertex : int; reason : string }
+  | Transport of string
+
+val failure_to_string : failure -> string
+val pp_failure : Format.formatter -> failure -> unit
+
+type outcome = {
+  upper : Scheme.Upper_stage.t option;
+      (** [Some] iff both runs completed cleanly: the value
+          {!Scheme.build_from_exact}[ ?upper] consumes, with {e measured}
+          phases *)
+  fields : Hopsets.Construct.fields;
+      (** run A's harvested wave fixpoints (partial on failure) *)
+  hopset : Hopsets.Hopset.t option;
+      (** the assembled hopset, once run A's fields pass
+          {!Hopsets.Construct.assemble} *)
+  lambda : int;
+  beta : int;
+  epsilon : float;
+  b : int;  (** virtual-edge hop bound, taken from the exact stage *)
+  members : int list;  (** [A_{⌈k/2⌉}], ascending *)
+  xlevels : int array;  (** exact-hierarchy level per vertex *)
+  k : int;
+  ih : int;
+  report : Congest.Metrics.t;  (** both runs merged *)
+  phase_rounds : (string * int) list;
+      (** measured rounds per protocol phase, chronological across both
+          runs *)
+  failures : failure list;  (** empty iff both runs completed cleanly *)
+}
+
+val run :
+  rng:Random.State.t ->
+  ?params:Scheme.Params.t ->
+  ?faults:Congest.Fault.t ->
+  ?reliable:bool ->
+  ?config:Congest.Reliable.config ->
+  ?trace:Congest.Trace.t ->
+  ?max_rounds:int ->
+  ?scheduler:Congest.Sim.scheduler ->
+  ?domains:int ->
+  Dgraph.Graph.t ->
+  Dist_scheme.outcome ->
+  outcome
+(** Execute the upper stage on top of a clean {!Dist_scheme.run} outcome.
+    [rng] must be the {e same state} [Dist_scheme.run] left positioned
+    (i.e. where {!Scheme.build}'s sampling ends): the hopset level draw
+    consumes exactly the stream {!Hopsets.Construct.tz_hopset} would, so
+    levels are bit-identical on the same seed. [params] supplies
+    [lambda]/[beta]/[epsilon] ([b] is taken from the exact-stage outcome).
+    [?reliable] defaults to running over {!Congest.Reliable} iff [?faults]
+    is given. On any failure [upper] is [None] and [failures] is
+    non-empty — never a silently wrong stage. *)
+
+val check_against_centralized :
+  rng:Random.State.t ->
+  ?mode:Dist_scheme.gate_mode ->
+  Dgraph.Graph.t ->
+  outcome ->
+  string list
+(** The differential gate. [rng] must be a {e copy captured just before}
+    {!run} consumed the level draw (i.e. right after [Dist_scheme.run]
+    returned). Compares bit-for-bit: hopset levels, every per-level lex
+    field, bunch fields, the assembled edge list (exact mode re-runs
+    {!Hopsets.Construct.compute_fields}[ + assemble] and compares edge for
+    edge), every pivot-estimate array with its origin attribution, and
+    per-owner cluster waves (candidate distance, parent, recovery-join
+    flag) against {!Scheme.approx_cluster_candidates}. Empty = identical.
+
+    [?mode] (default [Exact]) controls the per-member bunch fields and the
+    per-owner cluster waves — the two Dijkstra-like-per-element blockers at
+    large [n]; [Sampled] keeps levels, level fields and all pivot
+    estimates exactly checked and spot-checks the rest. *)
+
+val build_scheme :
+  rng:Random.State.t ->
+  ?trace:Congest.Trace.t ->
+  Dgraph.Graph.t ->
+  Dist_scheme.outcome ->
+  outcome ->
+  Scheme.t
+(** Splice both protocol outcomes into the full scheme
+    ({!Scheme.build_from_exact} with [?upper]): every construction phase of
+    the cost/trace now carries measured spans — nothing upper-stage remains
+    Cost-charged-only. Parameters are pinned to what the protocols actually
+    ran with ([b], [lambda], [beta], [epsilon]); [rng] is not consumed. *)
+
+val build_full :
+  rng:Random.State.t ->
+  k:int ->
+  ?params:Scheme.Params.t ->
+  ?faults:Congest.Fault.t ->
+  ?reliable:bool ->
+  ?config:Congest.Reliable.config ->
+  ?trace:Congest.Trace.t ->
+  ?max_rounds:int ->
+  ?scheduler:Congest.Sim.scheduler ->
+  ?domains:int ->
+  Dgraph.Graph.t ->
+  Dist_scheme.outcome * outcome option * Scheme.t option
+(** The whole distributed pipeline on one rng state: exact stage, upper
+    stage, splice. Stops at the first stage that reports failures (upper
+    outcome/scheme are [None] past that point); the caller inspects the
+    returned outcomes' [failures] for the typed reasons. [?trace] is
+    threaded to both protocol runs (real rounds), not to the splice. *)

@@ -126,6 +126,11 @@ val gate_mode_name : gate_mode -> string
 (** ["exact"] or ["sampled(sample=…,seed=…)"] — log this next to the gate
     verdict so a sampled pass is never mistaken for an exact one. *)
 
+val sample_indices : Random.State.t -> int -> int -> int list
+(** [sample_indices srng total m]: [m] distinct indices from [[0, total)],
+    seed-deterministic, ascending — the sampling primitive behind [Sampled]
+    gates, shared with [Dist_hopset]. *)
+
 val check_against_centralized :
   rng:Random.State.t ->
   ?mode:gate_mode ->

@@ -206,7 +206,120 @@ module Exact_stage = struct
     }
 end
 
-let build_from_exact ~rng ?(params = Params.default) ?trace ?hierarchy
+(* The upper half of Appendix B as data: hopset edges, approximate pivot
+   estimates and per-owner cluster-wave candidates, plus the measured phase
+   spans of whatever computed them. [Dist_hopset] harvests one of these from
+   its protocol runs; [build_from_exact ?upper] consumes it in place of the
+   centralized hopset construction and [Hopset.run_*] calls, replaying the
+   measured spans instead of the charged formulas. *)
+module Upper_stage = struct
+  type cluster_wave = {
+    owner : int;
+    level : int;
+    cdist : float array;
+    cparent : int array;
+    joined : bool array;
+  }
+
+  type t = {
+    hopset_edges : Hopset.edge list;
+    pivot_estimates : (int * (float array * int array)) list;
+    cluster_waves : cluster_wave list;
+    phases : Cost.t;
+  }
+end
+
+(* One high-level owner's approximate cluster candidates: the limited
+   exploration in G' ∪ H, path recovery along used hopset edges, and the
+   final B-bounded wave. Returns (cdist, cparent, joined_by_path) plus the
+   raw exploration output for debugging. Path recovery is order-free: every
+   walk reads the same pre-recovery snapshot and proposals commit per vertex
+   by lex-min (acc, prev) — so concurrent walk messages in the distributed
+   build reproduce it bit-for-bit. *)
+let approx_cluster_candidates ~hopset ~vg ~epsilon ~beta ~limits g ~owner:w =
+  let n = Graph.n g in
+  let one_eps = 1.0 +. epsilon in
+  let keep_host u d = d *. one_eps < limits.(u) in
+  let keep_virtual u d = d *. one_eps *. one_eps < limits.(u) in
+  let dist, prov =
+    Hopset.run_limited hopset ~sources:[ (w, 0.0) ] ~beta ~keep_host
+      ~keep_virtual
+  in
+  (* candidate (dist, parent) per vertex *)
+  let cdist = Array.copy dist in
+  let cparent = Array.make n (-1) in
+  let joined_by_path = Array.make n false in
+  Array.iteri
+    (fun v p ->
+      match p with
+      | Hopset.Via_host parent -> cparent.(v) <- parent
+      | Hopset.Via_hopset _ | Hopset.Source | Hopset.Unreached -> ())
+    prov;
+  (* path recovery on used hopset edges *)
+  let cdist0 = Array.copy cdist in
+  let prop_acc = Array.make n infinity and prop_prev = Array.make n max_int in
+  let edges = Hopset.edges hopset in
+  Array.iteri
+    (fun v p ->
+      match p with
+      (* Path recovery applies only to hopset edges of the *tree*: the
+         fed endpoint must itself satisfy the virtual limit (the
+         premise of Claim 9's second case). *)
+      | Hopset.Via_hopset ei
+        when dist.(v) < infinity && dist.(v) *. one_eps *. one_eps < limits.(v)
+        ->
+        let e = edges.(ei) in
+        let path = e.Hopset.path in
+        let len = Array.length path in
+        (* direction: which endpoint fed v *)
+        (* the feeder is the other endpoint; orient the path feeder->v *)
+        let ordered =
+          if v = e.Hopset.y then path
+          else Array.init len (fun idx -> path.(len - 1 - idx))
+        in
+        let acc = ref cdist0.(ordered.(0)) in
+        for idx = 1 to len - 1 do
+          let u = ordered.(idx) and prev = ordered.(idx - 1) in
+          (match Graph.weight g prev u with
+          | Some wt -> acc := !acc +. wt
+          | None -> ());
+          (* <=: the endpoint's candidate ties its recorded estimate
+             and must still acquire a parent on the path *)
+          (* tolerance: the per-edge sum can differ from the stored
+             edge weight in the last floating-point bits *)
+          if !acc <= cdist0.(u) +. (1e-9 *. (1.0 +. abs_float cdist0.(u)))
+             && (!acc, prev) < (prop_acc.(u), prop_prev.(u))
+          then begin
+            prop_acc.(u) <- !acc;
+            prop_prev.(u) <- prev
+          end
+        done
+      | _ -> ())
+    prov;
+  Array.iteri
+    (fun u a ->
+      if a < infinity then begin
+        cdist.(u) <- Float.min a cdist0.(u);
+        cparent.(u) <- prop_prev.(u);
+        joined_by_path.(u) <- true
+      end)
+    prop_acc;
+  (* final B-bounded limited wave from all current candidates *)
+  let wave, wparent =
+    Virtual_graph.bf_iteration_limited vg cdist
+      ~keep_going:(fun u d -> u = w || keep_host u d)
+  in
+  Array.iteri
+    (fun v d ->
+      if d < cdist.(v) then begin
+        cdist.(v) <- d;
+        cparent.(v) <- wparent.(v);
+        joined_by_path.(v) <- false
+      end)
+    wave;
+  (dist, prov, cdist, cparent, joined_by_path)
+
+let build_from_exact ~rng ?(params = Params.default) ?trace ?hierarchy ?upper
     ~(exact : Exact_stage.t) g =
   let k = exact.Exact_stage.k in
   if k < 2 then invalid_arg "Scheme.build_from_exact: k >= 2 required";
@@ -293,29 +406,55 @@ let build_from_exact ~rng ?(params = Params.default) ?trace ?hierarchy
   in
   let vg = Virtual_graph.make g ~members ~b in
   let m = Virtual_graph.size vg in
-  let hopset = Construct.tz_hopset ~rng ~lambda vg in
+  let hopset =
+    match upper with
+    | None -> Construct.tz_hopset ~rng ~lambda vg
+    | Some (u : Upper_stage.t) -> Hopset.make vg u.Upper_stage.hopset_edges
+  in
   let alpha = Hopset.max_out_degree hopset in
-  charge
-    ~detail:
-      (Printf.sprintf "m=%d |H|=%d alpha=%d" m (Hopset.size hopset) alpha)
-    "hopset"
-    (lambda * ((m * alpha) + b + d_est))
-    (3 * alpha);
+  (match upper with
+  | None ->
+    charge
+      ~detail:
+        (Printf.sprintf "m=%d |H|=%d alpha=%d" m (Hopset.size hopset) alpha)
+      "hopset"
+      (lambda * ((m * alpha) + b + d_est))
+      (3 * alpha)
+  | Some u ->
+    (* measured protocol spans replace the charged hopset/approx formulas;
+       replayed here in one block so the cost stays chronological *)
+    List.iter
+      (fun (ph : Cost.phase) ->
+        charge ~detail:ph.Cost.detail ph.Cost.name ph.Cost.rounds
+          ph.Cost.peak_memory)
+      (Cost.phases u.Upper_stage.phases));
   (* ---- approximate pivot distances for high levels ---- *)
   let pivot_estimates = ref [] in
   let infinity_arr = lazy (Array.make n infinity, Array.make n (-1)) in
   for j = ih + 1 to k - 1 do
     let sources = Tz.Hierarchy.members hierarchy j in
     if sources = [] then pivot_estimates := (j, Lazy.force infinity_arr) :: !pivot_estimates
-    else begin
-      let srcs = List.map (fun s -> (s, 0.0)) sources in
-      let dist, _, origin = Hopset.run_attributed hopset ~sources:srcs ~beta in
-      pivot_estimates := (j, (dist, origin)) :: !pivot_estimates;
-      charge
-        (Printf.sprintf "approx pivots level %d" j)
-        (beta * ((m * alpha) + b + d_est))
-        (3 + alpha)
-    end
+    else
+      match upper with
+      | Some u ->
+        let est =
+          match List.assoc_opt j u.Upper_stage.pivot_estimates with
+          | Some est -> est
+          | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Scheme.build_from_exact: upper stage lacks pivot estimates \
+                  for level %d" j)
+        in
+        pivot_estimates := (j, est) :: !pivot_estimates
+      | None ->
+        let srcs = List.map (fun s -> (s, 0.0)) sources in
+        let dist, _, origin = Hopset.run_attributed hopset ~sources:srcs ~beta in
+        pivot_estimates := (j, (dist, origin)) :: !pivot_estimates;
+        charge
+          (Printf.sprintf "approx pivots level %d" j)
+          (beta * ((m * alpha) + b + d_est))
+          (3 + alpha)
   done;
   let dhat j =
     if j >= k then fst (Lazy.force infinity_arr)
@@ -333,68 +472,31 @@ let build_from_exact ~rng ?(params = Params.default) ?trace ?hierarchy
     let level_membership = Array.make n 0 in
     List.iter
       (fun w ->
-        let keep_host u d = d *. one_eps < limits.(u) in
-        let keep_virtual u d = d *. one_eps *. one_eps < limits.(u) in
-        let dist, prov =
-          Hopset.run_limited hopset ~sources:[ (w, 0.0) ] ~beta ~keep_host ~keep_virtual
+        let cdist, cparent, joined_by_path =
+          match upper with
+          | Some u -> (
+            match
+              List.find_opt
+                (fun (cw : Upper_stage.cluster_wave) ->
+                  cw.Upper_stage.owner = w && cw.Upper_stage.level = i)
+                u.Upper_stage.cluster_waves
+            with
+            | Some cw ->
+              ( cw.Upper_stage.cdist,
+                cw.Upper_stage.cparent,
+                cw.Upper_stage.joined )
+            | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "Scheme.build_from_exact: upper stage lacks the cluster \
+                    wave of owner %d (level %d)" w i))
+          | None ->
+            let _, _, cdist, cparent, joined =
+              approx_cluster_candidates ~hopset ~vg ~epsilon ~beta ~limits g
+                ~owner:w
+            in
+            (cdist, cparent, joined)
         in
-        (* candidate (dist, parent) per vertex *)
-        let cdist = Array.copy dist in
-        let cparent = Array.make n (-1) in
-        let joined_by_path = Array.make n false in
-        Array.iteri
-          (fun v p ->
-            match p with
-            | Hopset.Via_host parent -> cparent.(v) <- parent
-            | Hopset.Via_hopset _ | Hopset.Source | Hopset.Unreached -> ())
-          prov;
-        (* path recovery on used hopset edges *)
-        let edges = Hopset.edges hopset in
-        Array.iteri
-          (fun v p ->
-            match p with
-            (* Path recovery applies only to hopset edges of the *tree*: the
-               fed endpoint must itself satisfy the virtual limit (the
-               premise of Claim 9's second case). *)
-            | Hopset.Via_hopset ei
-              when dist.(v) < infinity && dist.(v) *. one_eps *. one_eps < limits.(v) ->
-              let e = edges.(ei) in
-              let path = e.Hopset.path in
-              let len = Array.length path in
-              (* direction: which endpoint fed v *)
-              (* the feeder is the other endpoint; orient the path feeder->v *)
-              let ordered =
-                if v = e.Hopset.y then path
-                else Array.init len (fun idx -> path.(len - 1 - idx))
-              in
-              let acc = ref dist.(ordered.(0)) in
-              for idx = 1 to len - 1 do
-                let u = ordered.(idx) and prev = ordered.(idx - 1) in
-                (match Graph.weight g prev u with
-                | Some wt -> acc := !acc +. wt
-                | None -> ());
-                (* <=: the endpoint's candidate ties its recorded estimate
-                   and must still acquire a parent on the path *)
-                (* tolerance: the per-edge sum can differ from the stored
-                   edge weight in the last floating-point bits *)
-                if !acc <= cdist.(u) +. (1e-9 *. (1.0 +. abs_float cdist.(u))) then begin
-                  cdist.(u) <- Float.min !acc cdist.(u);
-                  cparent.(u) <- prev;
-                  joined_by_path.(u) <- true
-                end
-              done
-            | _ -> ())
-          prov;
-        (* final B-bounded limited wave from all current candidates *)
-        let wave, wparent = Virtual_graph.bf_iteration_limited vg cdist ~keep_going:(fun u d -> u = w || keep_host u d) in
-        Array.iteri
-          (fun v d ->
-            if d < cdist.(v) then begin
-              cdist.(v) <- d;
-              cparent.(v) <- wparent.(v);
-              joined_by_path.(v) <- false
-            end)
-          wave;
         (* membership *)
         let member = Array.make n false in
         member.(w) <- true;
@@ -410,14 +512,8 @@ let build_from_exact ~rng ?(params = Params.default) ?trace ?hierarchy
             for v = 0 to n - 1 do
               if member.(v) && not (Tree.mem tree v) then
                 Printf.eprintf
-                  "[scheme] owner=%d pruned v=%d cdist=%f cparent=%d prov=%s path=%b\n%!"
-                  w v cdist.(v) cparent.(v)
-                  (match prov.(v) with
-                  | Hopset.Unreached -> "unreached"
-                  | Hopset.Source -> "source"
-                  | Hopset.Via_host p -> Printf.sprintf "host(%d)" p
-                  | Hopset.Via_hopset e -> Printf.sprintf "hop(%d)" e)
-                  joined_by_path.(v)
+                  "[scheme] owner=%d pruned v=%d cdist=%f cparent=%d path=%b\n%!"
+                  w v cdist.(v) cparent.(v) joined_by_path.(v)
             done
         end;
         cluster_trees_high := (w, tree) :: !cluster_trees_high;
@@ -427,11 +523,12 @@ let build_from_exact ~rng ?(params = Params.default) ?trace ?hierarchy
         register_tree w tree)
       owners;
     let congestion = max 1 (Array.fold_left max 0 level_membership) in
-    charge
-      ~detail:(Printf.sprintf "|owners|=%d" (List.length owners))
-      (Printf.sprintf "approx clusters level %d" i)
-      (beta * ((((m * alpha) + b) * congestion / max 1 m) + b + d_est))
-      (2 * congestion)
+    if upper = None then
+      charge
+        ~detail:(Printf.sprintf "|owners|=%d" (List.length owners))
+        (Printf.sprintf "approx clusters level %d" i)
+        (beta * ((((m * alpha) + b) * congestion / max 1 m) + b + d_est))
+        (2 * congestion)
   done;
   (* ---- labels ---- *)
   let labels = Array.make n [] in

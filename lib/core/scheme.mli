@@ -122,11 +122,57 @@ val build :
     [Trace.phase_breakdown ~total_rounds:(Cost.total_rounds (cost t))] has
     no unattributed rows. *)
 
+(** The {e upper stage} of Appendix B — hopset edge list, approximate pivot
+    fields and approximate-cluster candidate waves — as an interchange value
+    mirroring {!Exact_stage}. [Dist_hopset] (lib/core) produces one by
+    executing the hopset construction and the [β]-iteration approximate
+    Bellman–Ford message-by-message; {!build_from_exact} with [?upper]
+    consumes it in place of the centralized computation, replaying the
+    measured [phases] spans instead of charging the hopset/approx formulas. *)
+module Upper_stage : sig
+  type cluster_wave = {
+    owner : int;
+    level : int;
+    cdist : float array;  (** candidate distance per host vertex *)
+    cparent : int array;  (** candidate parent per host vertex *)
+    joined : bool array;  (** joined by hopset path recovery *)
+  }
+
+  type t = {
+    hopset_edges : Hopsets.Hopset.edge list;
+        (** exactly {!Hopsets.Construct.assemble}'s output edge list *)
+    pivot_estimates : (int * (float array * int array)) list;
+        (** per high level [j > ih]: [(d̂(·, A_j), origin attribution)] *)
+    cluster_waves : cluster_wave list;
+        (** one wave per high-level owner, any order; looked up by
+            [(owner, level)] *)
+    phases : Cost.t;  (** measured spans, replayed verbatim *)
+  }
+end
+
+val approx_cluster_candidates :
+  hopset:Hopsets.Hopset.t ->
+  vg:Hopsets.Virtual_graph.t ->
+  epsilon:float ->
+  beta:int ->
+  limits:float array ->
+  Dgraph.Graph.t ->
+  owner:int ->
+  float array * Hopsets.Hopset.provenance array * float array * int array
+  * bool array
+(** One owner's approximate-cluster candidate computation — limited
+    exploration in [G' ∪ H], order-free path recovery along used hopset
+    edges, final [B]-bounded wave. Returns
+    [(dist, prov, cdist, cparent, joined_by_path)]; the last three are what
+    an {!Upper_stage.cluster_wave} must reproduce bitwise. Exposed as the
+    centralized reference for the [Dist_hopset] differential gate. *)
+
 val build_from_exact :
   rng:Random.State.t ->
   ?params:Params.t ->
   ?trace:Congest.Trace.t ->
   ?hierarchy:Tz.Hierarchy.t ->
+  ?upper:Upper_stage.t ->
   exact:Exact_stage.t ->
   Dgraph.Graph.t ->
   t

@@ -49,7 +49,12 @@ type provenance = Unreached | Source | Via_host of int | Via_hopset of int
 
 (* Shared engine behind [run], [run_attributed] and [run_limited]. [beta]
    iterations, each a B-bounded host wave (the E' relaxation) followed by the
-   explicit hopset-edge relaxation; origins are propagated alongside. *)
+   explicit hopset-edge relaxation; origins ride with the waves exactly as a
+   message would carry them. The edge relaxation is a Jacobi step — every
+   relaxation reads the pre-pass snapshot, ties go to the smallest edge
+   index — so the result is independent of edge-scan order and a distributed
+   relay subphase (all relays launched from the same snapshot, committed at
+   the closing barrier) reproduces it bit-for-bit. *)
 let run_core t ~sources ~beta ~keep_host ~keep_virtual =
   let g = Virtual_graph.host t.vg in
   let n = Graph.n g in
@@ -68,41 +73,49 @@ let run_core t ~sources ~beta ~keep_host ~keep_virtual =
     sources;
   let keep_host v d = is_source.(v) || keep_host v d in
   let keep_virtual v d = is_source.(v) || keep_virtual v d in
+  let cand = Array.make n infinity in
+  let cand_e = Array.make n (-1) and cand_o = Array.make n (-1) in
   for _ = 1 to beta do
-    (* (a) E' relaxation: one B-bounded limited wave in the host graph *)
-    let dist', parent = Virtual_graph.bf_iteration_limited t.vg dist ~keep_going:keep_host in
-    let improved = Array.make n false in
-    Array.iteri (fun v d -> if d < dist.(v) then improved.(v) <- true) dist';
-    (* origin resolution: follow wave-parents back to a non-improved vertex *)
-    let rec resolve v =
-      if not improved.(v) then origin.(v)
-      else begin
-        (* mark resolved by clearing the flag after computing *)
-        let o = resolve parent.(v) in
-        improved.(v) <- false;
-        dist.(v) <- dist'.(v);
-        prov.(v) <- Via_host parent.(v);
-        origin.(v) <- o;
-        o
-      end
+    (* (a) E' relaxation: one B-bounded limited wave in the host graph,
+       origins carried per-commit *)
+    let dist', parent, origin' =
+      Virtual_graph.bf_iteration_tracked t.vg dist ~origin ~keep_going:keep_host
     in
-    Array.iteri (fun v imp -> if imp then ignore (resolve v)) improved;
-    (* (b) hopset edge relaxation (both directions of each stored edge) *)
+    Array.iteri
+      (fun v d ->
+        if d < dist.(v) then begin
+          dist.(v) <- d;
+          prov.(v) <- Via_host parent.(v);
+          origin.(v) <- origin'.(v)
+        end)
+      dist';
+    (* (b) hopset edge relaxation (both directions of each stored edge),
+       Jacobi against the post-wave snapshot *)
+    Array.fill cand 0 n infinity;
+    let snap = Array.copy dist and snap_o = Array.copy origin in
     Array.iteri
       (fun i e ->
-        if dist.(e.x) < infinity && keep_virtual e.x dist.(e.x)
-           && dist.(e.x) +. e.w < dist.(e.y) then begin
-          dist.(e.y) <- dist.(e.x) +. e.w;
-          prov.(e.y) <- Via_hopset i;
-          origin.(e.y) <- origin.(e.x)
-        end;
-        if dist.(e.y) < infinity && keep_virtual e.y dist.(e.y)
-           && dist.(e.y) +. e.w < dist.(e.x) then begin
-          dist.(e.x) <- dist.(e.y) +. e.w;
-          prov.(e.x) <- Via_hopset i;
-          origin.(e.x) <- origin.(e.y)
+        let relax a b =
+          if snap.(a) < infinity && keep_virtual a snap.(a) then begin
+            let v = snap.(a) +. e.w in
+            if v < cand.(b) then begin
+              cand.(b) <- v;
+              cand_e.(b) <- i;
+              cand_o.(b) <- snap_o.(a)
+            end
+          end
+        in
+        relax e.x e.y;
+        relax e.y e.x)
+      t.edges;
+    Array.iteri
+      (fun v c ->
+        if c < dist.(v) then begin
+          dist.(v) <- c;
+          prov.(v) <- Via_hopset cand_e.(v);
+          origin.(v) <- cand_o.(v)
         end)
-      t.edges
+      cand
   done;
   (dist, prov, origin)
 

@@ -50,6 +50,21 @@ val bf_iteration_limited :
     to grow (approximate) clusters without flooding the graph. Vertices that
     fail the predicate still *receive* values. *)
 
+val bf_iteration_tracked :
+  t ->
+  float array ->
+  origin:int array ->
+  keep_going:(int -> float -> bool) ->
+  float array * int array * int array
+(** {!bf_iteration_limited} with an auxiliary origin label riding along:
+    every per-round commit copies the sender's origin of the {e previous}
+    round, exactly as a message would carry it. Ties go to the smallest
+    sender id within a round and are never displaced by equal values in
+    later rounds — the same rule a synchronized protocol superstep applies,
+    which is what makes the distributed attribution bit-identical.
+    Returns [(dist, parent, origin)] with [parent] the host parent of each
+    vertex's final commit. *)
+
 val edges_from : t -> int -> (int * float) list
 (** The virtual edges incident to one virtual vertex, computed on demand:
     [(u', d^{(B)}(v', u'))] for every virtual [u'] within [B] hops.
